@@ -1,0 +1,73 @@
+//! Q&A VIII-A: scalability — does the UE-CGRA's triple clock network
+//! stay affordable as the array grows?
+//!
+//! Maps the dither kernel onto 8x8 and 16x16 arrays and compares
+//! hierarchically-gated clock power: the compiler gates every cluster
+//! that selects no PE on a given network, so the UE overhead stays
+//! bounded as unused area grows.
+
+use uecgra_bench::header;
+use uecgra_clock::VfMode;
+use uecgra_compiler::bitstream::{Bitstream, PeRole};
+use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+use uecgra_compiler::power_map::{power_map, Objective};
+use uecgra_dfg::kernels;
+use uecgra_vlsi::area::CgraKind;
+use uecgra_vlsi::clock_power::{clock_power, ClockPowerParams, GatingConfig};
+
+fn clock_grid(bs: &Bitstream) -> Vec<Vec<Option<VfMode>>> {
+    bs.grid
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|cfg| match cfg.role {
+                    PeRole::Gated => None,
+                    _ => Some(cfg.clk),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    header("Ablation: clock power vs array size (dither POpt mapping, mW)");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14}",
+        "array", "PEs used", "ungated clk", "gated clk", "gated/ungated"
+    );
+    let k = kernels::dither::build_with_pixels(120);
+    let pm = power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance);
+    for dim in [8usize, 16] {
+        let shape = ArrayShape {
+            width: dim,
+            height: dim,
+        };
+        let mapped = MappedKernel::map(&k.dfg, shape, 7).expect("maps");
+        let bs = Bitstream::assemble(&k.dfg, &mapped, &pm.node_modes).expect("assembles");
+        let grid = clock_grid(&bs);
+        // Scale the full-tree network power with array area (buffers
+        // grow with the spanned region).
+        let scale = (dim * dim) as f64 / 64.0;
+        let params = ClockPowerParams {
+            ue_global_net_mw: [0.12 * scale, 0.36 * scale, 0.54 * scale],
+            e_global_net_mw: 0.24 * scale,
+            ..ClockPowerParams::default()
+        };
+        let ungated =
+            clock_power(CgraKind::UltraElastic, &params, &grid, GatingConfig::POWER_ONLY);
+        let gated = clock_power(CgraKind::UltraElastic, &params, &grid, GatingConfig::FULL);
+        let used = grid.iter().flatten().filter(|m| m.is_some()).count();
+        println!(
+            "{:<8} {:>10} {:>12.2} {:>12.2} {:>13.0}%",
+            format!("{dim}x{dim}"),
+            used,
+            ungated.total_clock_mw(),
+            gated.total_clock_mw(),
+            100.0 * gated.total_clock_mw() / ungated.total_clock_mw()
+        );
+    }
+    println!("\nThe kernel occupies the same clusters regardless of array size, so");
+    println!("hierarchical gating prunes the growing idle region: gated clock power");
+    println!("stays nearly flat while the ungated trees scale with area — the");
+    println!("paper's argument that large UE islands cost like large E islands.");
+}

@@ -1,0 +1,39 @@
+//! Figure 3: analytical-model case study — sweep per-group VF settings
+//! on the 13-node synthetic DFG and report the frontier.
+
+use uecgra_bench::{header, r2};
+use uecgra_dfg::kernels::synthetic;
+use uecgra_model::sweep::sweep_group_modes;
+
+fn main() {
+    let cs = synthetic::fig3_case_study();
+    let sweep = sweep_group_modes(&cs.dfg, vec![0; 4096], cs.iter_marker);
+    header("Figure 3: VF sweep over the 13-node case-study DFG");
+    println!("configurations evaluated: {}", sweep.points.len());
+
+    let circled = sweep
+        .points
+        .iter()
+        .filter(|p| p.speedup >= 1.3)
+        .max_by(|a, b| a.efficiency.partial_cmp(&b.efficiency).expect("finite"))
+        .expect("sweep nonempty");
+    println!(
+        "sprint-and-rest point:  {}x speedup, {}x energy efficiency (paper circled: 1.4x, 1.2x)",
+        r2(circled.speedup),
+        r2(circled.efficiency)
+    );
+    let effmax = sweep
+        .points
+        .iter()
+        .filter(|p| (p.speedup - 1.0).abs() < 1e-9)
+        .max_by(|a, b| a.efficiency.partial_cmp(&b.efficiency).expect("finite"))
+        .expect("nominal-speed point exists");
+    println!(
+        "best same-performance efficiency: {}x (paper: ~2.2x from resting)",
+        r2(effmax.efficiency)
+    );
+    println!("\nPareto frontier (speedup, efficiency):");
+    for p in sweep.pareto_front() {
+        println!("  {:>5}  {:>5}", r2(p.speedup), r2(p.efficiency));
+    }
+}

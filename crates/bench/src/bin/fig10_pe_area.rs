@@ -1,0 +1,29 @@
+//! Figure 10: PE area versus cycle-time target for the three PE
+//! variants.
+
+use uecgra_bench::header;
+use uecgra_vlsi::area::{pe_area, CgraKind, FIG10_CYCLE_TIMES};
+
+fn main() {
+    header("Figure 10: PE area (um^2) vs cycle time (ns), TSMC 28 nm model");
+    print!("{:<10}", "cycle ns");
+    for kind in CgraKind::ALL {
+        print!(" {:>9}", kind.label());
+    }
+    println!();
+    for &t in &FIG10_CYCLE_TIMES {
+        print!("{t:<10.2}");
+        for kind in CgraKind::ALL {
+            print!(" {:>9.0}", pe_area(kind, t));
+        }
+        println!();
+    }
+    let ie = pe_area(CgraKind::Inelastic, 4.0 / 3.0);
+    let e = pe_area(CgraKind::Elastic, 4.0 / 3.0);
+    let ue = pe_area(CgraKind::UltraElastic, 4.0 / 3.0);
+    println!(
+        "\nat 750 MHz: E-CGRA overhead {:.0}% (paper 14%), UE-CGRA {:.0}% (paper 17%)",
+        (e / ie - 1.0) * 100.0,
+        (ue / ie - 1.0) * 100.0
+    );
+}

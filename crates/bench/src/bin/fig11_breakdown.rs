@@ -1,0 +1,25 @@
+//! Figure 11: PE energy per operation (E-CGRA vs UE-CGRA) and PE area
+//! breakdowns for all three variants.
+
+use uecgra_bench::header;
+use uecgra_vlsi::area::{component_areas, pe_area_reference, CgraKind};
+use uecgra_vlsi::energy::figure11_bars;
+
+fn main() {
+    header("Figure 11 (left): PE energy per op at nominal VF (pJ)");
+    println!("{:<8} {:>8} {:>8}", "op", "E-CGRA", "UE-CGRA");
+    for (name, e, ue) in figure11_bars() {
+        println!("{name:<8} {e:>8.2} {ue:>8.2}");
+    }
+    println!("\n(average UE overhead: 21%, of which suppression logic ~1.3%)");
+
+    header("\nFigure 11 (right): PE area breakdown (um^2)");
+    for kind in CgraKind::ALL {
+        println!("\n{}:", kind.label());
+        let parts = component_areas(kind);
+        for (name, a) in &parts {
+            println!("  {name:<14} {a:>7.0}");
+        }
+        println!("  {:<14} {:>7.0}", "total", pe_area_reference(kind));
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 12: full 8x8 array layouts at 750 MHz.
+
+use uecgra_bench::header;
+use uecgra_vlsi::area::{CgraKind, REFERENCE_CYCLE_NS};
+use uecgra_vlsi::layout::{array_area_um2, edge_um};
+
+fn main() {
+    header("Figure 12: 8x8 CGRA layout at 750 MHz in TSMC 28 nm");
+    println!("{:<10} {:>12} {:>14}   paper", "CGRA", "edge (um)", "area (um^2)");
+    let paper = [463.0, 495.0, 528.0];
+    for (kind, p) in CgraKind::ALL.iter().zip(paper) {
+        println!(
+            "{:<10} {:>12.0} {:>14.0}   {:.0}x{:.0} um",
+            kind.label(),
+            edge_um(*kind),
+            array_area_um2(*kind, 64, REFERENCE_CYCLE_NS),
+            p,
+            p
+        );
+    }
+}

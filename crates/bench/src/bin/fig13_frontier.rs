@@ -1,0 +1,24 @@
+//! Figure 13: normalized energy efficiency vs performance — global
+//! E-CGRA VF scaling against fine-grain UE-CGRA mappings.
+
+use uecgra_bench::{header, r2};
+use uecgra_core::experiments::{figure13, run_all_policies, SEED};
+use uecgra_dfg::kernels;
+
+fn main() {
+    header("Figure 13: energy efficiency vs performance (relative to nominal E-CGRA)");
+    for k in [
+        kernels::llist::build_with_hops(400),
+        kernels::dither::build_with_pixels(400),
+    ] {
+        let runs = run_all_policies(&k, SEED).expect("kernel runs");
+        println!("\n{}:", k.name);
+        println!("  {:<10} {:>6} {:>6}", "config", "perf", "eff");
+        for p in figure13(&runs) {
+            println!("  {:<10} {:>6} {:>6}", p.label, r2(p.perf), r2(p.eff));
+        }
+    }
+    println!("\nPaper: whole-fabric scaling trades one axis for the other; fine-grain");
+    println!("DVFS (UE points) reaches performance the global curve only gets by");
+    println!("paying full sprint energy everywhere.");
+}

@@ -1,0 +1,65 @@
+//! Figure 14: per-PE energy contours for llist and dither across the
+//! E-CGRA and both UE-CGRA mappings, rendered as ASCII heat maps with
+//! DVFS-mode glyphs.
+
+use uecgra_bench::header;
+use uecgra_clock::VfMode;
+use uecgra_core::experiments::{energy_contour, run_all_policies, SEED};
+use uecgra_core::pipeline::CgraRun;
+use uecgra_dfg::kernels;
+
+fn glyph(mode: Option<VfMode>) -> char {
+    match mode {
+        None => '.',
+        Some(VfMode::Rest) => 'r',
+        Some(VfMode::Nominal) => 'n',
+        Some(VfMode::Sprint) => 'S',
+    }
+}
+
+fn shade(pj: f64, max: f64) -> char {
+    if pj <= 0.0 {
+        return ' ';
+    }
+    let levels = [' ', '1', '2', '3', '4', '5', '6', '7', '8', '9'];
+    let idx = ((pj / max) * 9.0).ceil().min(9.0) as usize;
+    levels[idx]
+}
+
+fn print_contour(run: &CgraRun, label: &'static str) {
+    let c = energy_contour(run, label);
+    let max = c
+        .energy_pj
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    println!("\n{label}  (heat 1..9 = relative energy; r/n/S = rest/nominal/sprint; . = gated)");
+    for y in 0..8 {
+        print!("  ");
+        for x in 0..8 {
+            print!(
+                "{}{} ",
+                shade(c.energy_pj[y][x], max),
+                glyph(c.modes[y][x])
+            );
+        }
+        println!();
+    }
+    println!("  hottest PE: {:.0} pJ over the run", max);
+}
+
+fn main() {
+    header("Figure 14: PE energy contours (llist, dither)");
+    for k in [
+        kernels::llist::build_with_hops(400),
+        kernels::dither::build_with_pixels(400),
+    ] {
+        let runs = run_all_policies(&k, SEED).expect("kernel runs");
+        println!("\n=== {} ===", k.name);
+        print_contour(&runs.e, "E-CGRA");
+        print_contour(&runs.popt, "UE-CGRA POpt");
+        print_contour(&runs.eopt, "UE-CGRA EOpt");
+    }
+}

@@ -1,0 +1,37 @@
+//! Run every table- and figure-reproduction binary's computation in
+//! one pass (the source of EXPERIMENTS.md's measured numbers).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig02_toy_dvfs",
+        "fig03_sweep",
+        "fig07a_latency",
+        "fig07b_qdepth",
+        "fig07c_sprint",
+        "fig10_pe_area",
+        "fig11_breakdown",
+        "fig12_layout",
+        "table1_power",
+        "table2_kernels",
+        "fig13_frontier",
+        "fig14_contours",
+        "table3_system",
+        "ablation_suppressor",
+        "ablation_ooo",
+        "ablation_scaling",
+        "ablation_routing_aware",
+        "ablation_unroll",
+        "extra_kernels",
+    ];
+    for bin in bins {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================");
+        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,28 @@
+//! Table II: UE-CGRA performance and energy relative to the 8x8
+//! E-CGRA.
+
+use uecgra_bench::{evaluation_kernels, header, r2};
+use uecgra_core::experiments::{table2, SEED};
+
+fn main() {
+    header("Table II: UE-CGRA vs E-CGRA (iterations/s and iterations/J, relative)");
+    println!(
+        "{:<8} | {:>9} {:>9} | {:>9} {:>9} |  paper EOpt eff / POpt perf",
+        "kernel", "EOpt perf", "EOpt eff", "POpt perf", "POpt eff"
+    );
+    let paper = [(1.50, 1.49), (1.24, 1.42), (1.73, 1.50), (2.32, 1.49), (1.32, 1.44)];
+    for (row, (pe, pp)) in table2(&evaluation_kernels(), SEED)
+        .expect("all kernels compile and run")
+        .iter()
+        .zip(paper)
+    {
+        println!(
+            "{:<8} | {:>9} {:>9} | {:>9} {:>9} |  {pe:.2} / {pp:.2}",
+            row.kernel,
+            r2(row.eopt_perf),
+            r2(row.eopt_eff),
+            r2(row.popt_perf),
+            r2(row.popt_eff)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Table III: performance and energy efficiency of the integrated
+//! processor+CGRA system relative to the RV32IM core.
+
+use uecgra_bench::{evaluation_kernels, header, r2};
+use uecgra_core::experiments::{run_all_policies, table3_row, SEED};
+use uecgra_core::pipeline::Policy;
+
+fn main() {
+    header("Table III: system-level results relative to the in-order RV32IM core");
+    println!(
+        "{:<8} {:>5} {:>5} {:>9} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+        "kernel", "ideal", "real", "cfg E/UE", "data",
+        "E perf", "E eff", "EO prf", "EO eff", "PO prf", "PO eff"
+    );
+    for k in evaluation_kernels() {
+        let runs = run_all_policies(&k, SEED).expect("kernel runs");
+        let row = table3_row(&runs);
+        let find = |p: Policy| {
+            row.relative
+                .iter()
+                .find(|(q, _, _)| *q == p)
+                .map(|&(_, perf, eff)| (perf, eff))
+                .expect("policy present")
+        };
+        let (ep, ee) = find(Policy::ECgra);
+        let (eop, eoe) = find(Policy::UeEnergyOpt);
+        let (pop, poe) = find(Policy::UePerfOpt);
+        println!(
+            "{:<8} {:>5} {:>5.1} {:>9} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+            row.kernel,
+            row.ideal_recurrence,
+            row.real_recurrence,
+            format!("{}/{}", row.cfg_cycles.0, row.cfg_cycles.1),
+            row.data_cycles,
+            r2(ep),
+            r2(ee),
+            r2(eop),
+            r2(eoe),
+            r2(pop),
+            r2(poe)
+        );
+    }
+    println!("\nPaper bands: E-CGRA perf 0.94-2.31x, UE POpt perf 1.35-3.38x,");
+    println!("UE EOpt efficiency 0.80-1.53x relative to the core.");
+}

@@ -1,0 +1,56 @@
+//! Shared helpers for the reproduction harness binaries.
+//!
+//! Each `src/bin/*` binary regenerates one table or figure of the
+//! paper (see `DESIGN.md`'s experiment index); this library provides
+//! the kernels at evaluation scale and table formatting.
+
+#![warn(missing_docs)]
+
+use uecgra_dfg::{kernels, Kernel};
+
+/// The paper's evaluation kernels at full scale (1000 iterations; 32
+/// for `bf`, matching Section VI-C).
+pub fn evaluation_kernels() -> Vec<Kernel> {
+    kernels::all_kernels()
+}
+
+/// The evaluation kernels at a reduced scale for quick runs.
+pub fn quick_kernels() -> Vec<Kernel> {
+    vec![
+        kernels::llist::build_with_hops(120),
+        kernels::dither::build_with_pixels(120),
+        kernels::susan::build_with_iters(120),
+        kernels::fft::build_with_group(120),
+        kernels::bf::build_with_rounds(32),
+    ]
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Print a table header with a rule under it.
+pub fn header(line: &str) {
+    println!("{line}");
+    rule(line);
+}
+
+/// Format a ratio with 2 decimals.
+pub fn r2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_available_at_both_scales() {
+        assert_eq!(evaluation_kernels().len(), 5);
+        assert_eq!(quick_kernels().len(), 5);
+        for k in evaluation_kernels() {
+            assert!(k.iters >= 32);
+        }
+    }
+}

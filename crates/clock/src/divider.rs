@@ -1,0 +1,163 @@
+//! 50%-duty integer clock dividers.
+//!
+//! The UE-CGRA generates its rational clocks with standard 50%-duty
+//! dividers (divide-by-two, divide-by-three, …) distributed to all PEs
+//! (paper Section V, citing the classic odd-divide counter). Odd
+//! divisors achieve 50% duty by using both PLL edges, so this model
+//! counts *half* PLL ticks.
+//!
+//! A two-phase reset (`clkrst`) aligns all dividers so that every
+//! divided clock rises together at time zero; the [`ClockDivider`]
+//! starts aligned and [`ClockDivider::reset`] realigns it.
+
+/// A 50%-duty clock divider producing one output clock from the PLL.
+///
+/// # Examples
+///
+/// ```
+/// use uecgra_clock::ClockDivider;
+///
+/// let mut div3 = ClockDivider::new(3);
+/// // Sample the output level across one period (6 half-ticks).
+/// let wave: Vec<bool> = (0..6).map(|_| div3.tick()).collect();
+/// assert_eq!(wave, [true, true, true, false, false, false]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockDivider {
+    divisor: u32,
+    half_ticks: u64,
+}
+
+impl ClockDivider {
+    /// Create an aligned divider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn new(divisor: u32) -> ClockDivider {
+        assert!(divisor > 0, "divisor must be nonzero");
+        ClockDivider {
+            divisor,
+            half_ticks: 0,
+        }
+    }
+
+    /// The divisor.
+    pub fn divisor(&self) -> u32 {
+        self.divisor
+    }
+
+    /// Advance by one half PLL tick and return the output level
+    /// *during* that half tick. The output period is `2 * divisor`
+    /// half ticks: high for `divisor` half ticks, then low.
+    pub fn tick(&mut self) -> bool {
+        let level = self.level_at(self.half_ticks);
+        self.half_ticks += 1;
+        level
+    }
+
+    /// Output level at an absolute half-tick time, for an aligned
+    /// divider.
+    pub fn level_at(&self, half_tick: u64) -> bool {
+        (half_tick % (2 * u64::from(self.divisor))) < u64::from(self.divisor)
+    }
+
+    /// True if the output has a rising edge at the given half tick.
+    pub fn is_rising_at(&self, half_tick: u64) -> bool {
+        half_tick.is_multiple_of(2 * u64::from(self.divisor))
+    }
+
+    /// Realign the divider (the `clkrst` phase of the two-phase reset).
+    pub fn reset(&mut self) {
+        self.half_ticks = 0;
+    }
+
+    /// The current half-tick position.
+    pub fn position(&self) -> u64 {
+        self.half_ticks
+    }
+}
+
+/// Measure the duty cycle of a divider over `n` output periods.
+pub fn duty_cycle(divider: &ClockDivider, periods: u64) -> f64 {
+    let span = 2 * u64::from(divider.divisor()) * periods;
+    let high = (0..span).filter(|&t| divider.level_at(t)).count();
+    high as f64 / span as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divide_by_two_waveform() {
+        let mut d = ClockDivider::new(2);
+        let wave: Vec<bool> = (0..8).map(|_| d.tick()).collect();
+        assert_eq!(wave, [true, true, false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn odd_divisors_keep_fifty_percent_duty() {
+        for div in [1, 3, 5, 9] {
+            let d = ClockDivider::new(div);
+            assert_eq!(duty_cycle(&d, 10), 0.5, "divide-by-{div}");
+        }
+    }
+
+    #[test]
+    fn even_divisors_keep_fifty_percent_duty() {
+        for div in [2, 4, 6, 8] {
+            let d = ClockDivider::new(div);
+            assert_eq!(duty_cycle(&d, 10), 0.5, "divide-by-{div}");
+        }
+    }
+
+    #[test]
+    fn rising_edges_match_clockset_schedule() {
+        use crate::ratio::{ClockSet, VfMode};
+        let clocks = ClockSet::default();
+        for mode in VfMode::ALL {
+            let d = ClockDivider::new(clocks.divisor(mode));
+            for t in 0..clocks.hyperperiod() {
+                // PLL tick t = half tick 2t.
+                assert_eq!(
+                    d.is_rising_at(2 * t),
+                    clocks.is_rising(mode, t),
+                    "{mode} at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_realigns() {
+        let mut d = ClockDivider::new(3);
+        for _ in 0..4 {
+            d.tick();
+        }
+        assert_ne!(d.position(), 0);
+        d.reset();
+        assert_eq!(d.position(), 0);
+        assert!(d.is_rising_at(d.position()));
+    }
+
+    #[test]
+    fn dividers_align_after_common_reset() {
+        // After reset, all three dividers rise together at t = 0 and at
+        // every hyperperiod boundary.
+        let divs = [9u32, 3, 2];
+        let dividers: Vec<ClockDivider> = divs.iter().map(|&d| ClockDivider::new(d)).collect();
+        let hyper_half_ticks = 2 * 18;
+        for k in 0..3u64 {
+            for d in &dividers {
+                assert!(d.is_rising_at(k * hyper_half_ticks));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_divisor_panics() {
+        ClockDivider::new(0);
+    }
+}

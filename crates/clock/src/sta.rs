@@ -1,0 +1,191 @@
+//! STA-style verification of the ratiochronous clocking plan.
+//!
+//! Because ratiochronous design quantizes the frequency space, the
+//! whole clocking scheme is verifiable by checking the cross-product of
+//! domain pairs over one hyperperiod (paper Section V, "Static Timing
+//! Analysis"). This module performs that check at the edge-schedule
+//! abstraction: for every `src → dst` pair it enumerates capture
+//! edges, computes margins, and verifies that
+//!
+//! 1. every capture edge **not** masked by the suppressor has a
+//!    launch-to-capture margin of at least the receiver period (setup
+//!    would close), and
+//! 2. the suppressor masks **only** edges that genuinely need it (no
+//!    over-suppression beyond the LUT's unsafe set).
+//!
+//! The report also quantifies how much of the schedule the suppressor
+//! removes from the STA obligation — the paper's observation that
+//! suppression "significantly simplifies timing constraints".
+
+use crate::checker::{classify_crossing, UnsafeLut};
+use crate::ratio::{ClockSet, VfMode};
+use std::fmt;
+
+/// Verification result for one `src → dst` crossing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossingReport {
+    /// Launch domain.
+    pub src: VfMode,
+    /// Capture domain.
+    pub dst: VfMode,
+    /// Total capture edges per hyperperiod.
+    pub total_edges: usize,
+    /// Edges STA must check (not suppressed).
+    pub checked_edges: usize,
+    /// Edges removed from the STA obligation by the suppressor.
+    pub suppressed_edges: usize,
+    /// Worst (smallest) margin among checked edges, in PLL ticks.
+    pub worst_margin: u64,
+    /// The receiver period (the setup budget), in PLL ticks.
+    pub budget: u64,
+    /// True when every checked edge meets the budget.
+    pub timing_clean: bool,
+}
+
+impl fmt::Display for CrossingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}→{}: {}/{} edges checked, worst margin {}/{} ({})",
+            self.src,
+            self.dst,
+            self.checked_edges,
+            self.total_edges,
+            self.worst_margin,
+            self.budget,
+            if self.timing_clean { "clean" } else { "VIOLATION" }
+        )
+    }
+}
+
+/// Full-chip report: all nine crossings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// Per-crossing results.
+    pub crossings: Vec<CrossingReport>,
+}
+
+impl StaReport {
+    /// True when every crossing is timing-clean.
+    pub fn all_clean(&self) -> bool {
+        self.crossings.iter().all(|c| c.timing_clean)
+    }
+
+    /// Total fraction of capture edges the suppressor removed from the
+    /// verification space.
+    pub fn suppression_fraction(&self) -> f64 {
+        let total: usize = self.crossings.iter().map(|c| c.total_edges).sum();
+        let suppressed: usize = self.crossings.iter().map(|c| c.suppressed_edges).sum();
+        suppressed as f64 / total as f64
+    }
+}
+
+impl fmt::Display for StaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.crossings {
+            writeln!(f, "{c}")?;
+        }
+        write!(
+            f,
+            "suppressed {:.0}% of capture edges; {}",
+            100.0 * self.suppression_fraction(),
+            if self.all_clean() { "all crossings clean" } else { "VIOLATIONS PRESENT" }
+        )
+    }
+}
+
+/// Verify one crossing: STA checks all capture edges the suppressor
+/// leaves enabled.
+pub fn verify_crossing(clocks: &ClockSet, src: VfMode, dst: VfMode) -> CrossingReport {
+    let edges = classify_crossing(clocks, src, dst);
+    let lut = UnsafeLut::build(clocks, src, dst);
+    let budget = clocks.period(dst);
+
+    let mut checked = 0usize;
+    let mut suppressed = 0usize;
+    let mut worst = u64::MAX;
+    for e in &edges {
+        if lut.is_unsafe_at(e.capture) {
+            suppressed += 1;
+        } else {
+            checked += 1;
+            worst = worst.min(e.margin);
+        }
+    }
+    let worst_margin = if checked == 0 { budget } else { worst };
+    CrossingReport {
+        src,
+        dst,
+        total_edges: edges.len(),
+        checked_edges: checked,
+        suppressed_edges: suppressed,
+        worst_margin,
+        budget,
+        timing_clean: worst_margin >= budget,
+    }
+}
+
+/// Verify the full 3×3 cross-product of clock domains.
+pub fn verify_all(clocks: &ClockSet) -> StaReport {
+    let mut crossings = Vec::with_capacity(9);
+    for src in VfMode::ALL {
+        for dst in VfMode::ALL {
+            crossings.push(verify_crossing(clocks, src, dst));
+        }
+    }
+    StaReport { crossings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_clock_plan_is_timing_clean() {
+        let report = verify_all(&ClockSet::default());
+        assert!(report.all_clean(), "{report}");
+        assert_eq!(report.crossings.len(), 9);
+    }
+
+    #[test]
+    fn same_domain_crossings_check_every_edge() {
+        let report = verify_all(&ClockSet::default());
+        for c in report.crossings.iter().filter(|c| c.src == c.dst) {
+            assert_eq!(c.suppressed_edges, 0, "{c}");
+            assert_eq!(c.worst_margin, c.budget, "{c}");
+        }
+    }
+
+    #[test]
+    fn suppressor_eliminates_unverifiable_edges() {
+        // The sprint → nominal crossing has no safe edges at all; the
+        // suppressor must remove every one of them from the STA space.
+        let c = verify_crossing(&ClockSet::default(), VfMode::Sprint, VfMode::Nominal);
+        assert_eq!(c.checked_edges, 0);
+        assert!(c.timing_clean, "vacuously clean once suppressed");
+    }
+
+    #[test]
+    fn alternative_clock_plans_also_verify() {
+        for divs in [[8u32, 4, 2], [6, 3, 2], [12, 4, 3], [4, 4, 4]] {
+            let clocks = ClockSet::new(divs).unwrap();
+            let report = verify_all(&clocks);
+            assert!(report.all_clean(), "{divs:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn suppression_fraction_is_meaningful() {
+        let report = verify_all(&ClockSet::default());
+        let f = report.suppression_fraction();
+        assert!(f > 0.0 && f < 1.0, "fraction {f}");
+    }
+
+    #[test]
+    fn report_displays_every_crossing() {
+        let report = verify_all(&ClockSet::default());
+        let text = report.to_string();
+        assert!(text.contains("sprint→nominal"));
+        assert!(text.contains("all crossings clean"));
+    }
+}

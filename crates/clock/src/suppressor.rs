@@ -1,0 +1,161 @@
+//! The elasticity-aware suppressor unit (paper Figure 8(d)).
+//!
+//! A traditional ratiochronous suppressor disables handshakes on every
+//! unsafe receiver edge, which stalls frequently and periodically —
+//! costly for dataflow. The UE-CGRA's novel suppressor taps the input
+//! queue's `empty` signal through two edge detectors: a handshake on an
+//! *unsafe* edge is still allowed when the data has already been
+//! enqueued for longer than one local (receiver) clock cycle, because
+//! such data is long settled and cannot violate setup.
+//!
+//! [`Suppressor::allows`] captures the resulting invariant: a token is
+//! visible to the consumer at capture edge `t` iff it was written at
+//! least one receiver period earlier. Freshly-written tokens arriving
+//! across a safe crossing satisfy this by construction (safe means the
+//! launch-to-capture margin is at least one receiver period); on unsafe
+//! edges only aged tokens pass.
+
+use crate::checker::UnsafeLut;
+use crate::ratio::{ClockSet, VfMode};
+
+/// Decision record for one suppression query, useful for traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuppressDecision {
+    /// Whether the handshake may proceed.
+    pub allow: bool,
+    /// Whether the receiver edge was flagged unsafe by the LUT.
+    pub edge_unsafe: bool,
+    /// Whether the elasticity-awareness (aged data in queue) rescued an
+    /// otherwise-suppressed handshake.
+    pub rescued_by_elasticity: bool,
+}
+
+/// A per-crossing suppressor: combines the unsafe-edge LUT with queue
+/// age information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppressor {
+    lut: UnsafeLut,
+    dst_period: u64,
+}
+
+impl Suppressor {
+    /// Build the suppressor for a `src → dst` crossing.
+    pub fn new(clocks: &ClockSet, src: VfMode, dst: VfMode) -> Suppressor {
+        Suppressor {
+            lut: UnsafeLut::build(clocks, src, dst),
+            dst_period: clocks.period(dst),
+        }
+    }
+
+    /// May the consumer handshake at capture edge `capture` for a token
+    /// written into the bisynchronous queue at time `written`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capture` is not a receiver rising edge or `written >
+    /// capture`.
+    pub fn allows(&self, capture: u64, written: u64) -> bool {
+        self.decide(capture, written).allow
+    }
+
+    /// Full decision record for one query (see [`Suppressor::allows`]).
+    pub fn decide(&self, capture: u64, written: u64) -> SuppressDecision {
+        assert!(written <= capture, "token from the future");
+        let edge_unsafe = self.lut.is_unsafe_at(capture);
+        let aged = capture - written >= self.dst_period;
+        // On a safe edge, fresh data is fine: the margin from its launch
+        // edge is ≥ one receiver period by the definition of safe.
+        // On an unsafe edge, only aged data passes.
+        let allow = !edge_unsafe || aged;
+        SuppressDecision {
+            allow,
+            edge_unsafe,
+            rescued_by_elasticity: edge_unsafe && aged,
+        }
+    }
+
+    /// The receiver clock period in PLL ticks.
+    pub fn dst_period(&self) -> u64 {
+        self.dst_period
+    }
+
+    /// Access the underlying unsafe-edge LUT.
+    pub fn lut(&self) -> &UnsafeLut {
+        &self.lut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clocks() -> ClockSet {
+        ClockSet::default()
+    }
+
+    #[test]
+    fn same_domain_never_suppresses() {
+        let s = Suppressor::new(&clocks(), VfMode::Nominal, VfMode::Nominal);
+        for k in 1..6u64 {
+            let capture = 3 * k;
+            assert!(s.allows(capture, capture - 3));
+            assert!(s.allows(capture, capture)); // just-written, safe edge
+        }
+    }
+
+    #[test]
+    fn unsafe_edge_blocks_fresh_data() {
+        // Sprint → nominal: every nominal edge is unsafe (see checker
+        // tests). A token written one PLL tick before capture must wait.
+        let s = Suppressor::new(&clocks(), VfMode::Sprint, VfMode::Nominal);
+        let d = s.decide(3, 2);
+        assert!(!d.allow);
+        assert!(d.edge_unsafe);
+        assert!(!d.rescued_by_elasticity);
+    }
+
+    #[test]
+    fn elasticity_rescues_aged_data() {
+        // Same crossing: a token written at 0 has aged 3 ticks (= one
+        // nominal period) by capture edge 3, so the handshake proceeds
+        // despite the unsafe edge.
+        let s = Suppressor::new(&clocks(), VfMode::Sprint, VfMode::Nominal);
+        let d = s.decide(3, 0);
+        assert!(d.allow);
+        assert!(d.edge_unsafe);
+        assert!(d.rescued_by_elasticity);
+    }
+
+    #[test]
+    fn traditional_suppressor_would_stall_forever() {
+        // Without elasticity awareness, the all-unsafe sprint → nominal
+        // crossing would never handshake; with it, every token passes
+        // after aging one receiver period.
+        let s = Suppressor::new(&clocks(), VfMode::Sprint, VfMode::Nominal);
+        for k in 1..12u64 {
+            let capture = 3 * k;
+            assert!(s.lut().is_unsafe_at(capture));
+            assert!(s.allows(capture, capture - 3), "aged token at {capture}");
+        }
+    }
+
+    #[test]
+    fn nominal_to_sprint_safe_edges_pass_fresh_data() {
+        // Capture 2 ← launch 0 is safe: a token written at 0 crosses at
+        // 2 without aging a full period relative to... it has aged
+        // exactly the safe margin.
+        let s = Suppressor::new(&clocks(), VfMode::Nominal, VfMode::Sprint);
+        assert!(s.allows(2, 0));
+        // Capture 4 is unsafe (launch 3, margin 1): fresh token waits...
+        assert!(!s.allows(4, 3));
+        // ...and passes at the next edge (6), having aged 3 ≥ 2.
+        assert!(s.allows(6, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn rejects_future_tokens() {
+        let s = Suppressor::new(&clocks(), VfMode::Nominal, VfMode::Nominal);
+        s.allows(3, 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! Glitchless clock switcher.
+//!
+//! Each PE selects one of the three divided clocks through a
+//! traditional glitchless clock switcher (paper Section V): the old
+//! clock is gated off at a falling edge, and the new clock is enabled
+//! at one of its own falling edges, so the output never produces a
+//! runt pulse. This model produces the output waveform level-by-level
+//! (in half PLL ticks, like [`crate::ClockDivider`]) and is checked by
+//! tests for minimum pulse widths.
+
+use crate::divider::ClockDivider;
+use crate::ratio::{ClockSet, VfMode};
+
+/// A glitchless switcher over the three divided clocks of a
+/// [`ClockSet`].
+///
+/// # Examples
+///
+/// ```
+/// use uecgra_clock::{ClockSet, ClockSwitcher, VfMode};
+///
+/// let mut sw = ClockSwitcher::new(&ClockSet::default(), VfMode::Nominal);
+/// sw.select(VfMode::Sprint);
+/// // Advance a few half ticks; the output continues glitch-free.
+/// for _ in 0..64 { sw.tick(); }
+/// assert_eq!(sw.selected(), VfMode::Sprint);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockSwitcher {
+    dividers: [ClockDivider; 3],
+    active: VfMode,
+    pending: Option<VfMode>,
+    /// Handoff state: once the old clock has been gated at a low level,
+    /// we wait for the new clock's low level before enabling it.
+    draining: bool,
+    half_tick: u64,
+    last_level: bool,
+}
+
+impl ClockSwitcher {
+    /// Create a switcher initially selecting `initial`.
+    pub fn new(clocks: &ClockSet, initial: VfMode) -> ClockSwitcher {
+        let dividers = [
+            ClockDivider::new(clocks.divisor(VfMode::Rest)),
+            ClockDivider::new(clocks.divisor(VfMode::Nominal)),
+            ClockDivider::new(clocks.divisor(VfMode::Sprint)),
+        ];
+        ClockSwitcher {
+            dividers,
+            active: initial,
+            pending: None,
+            draining: false,
+            half_tick: 0,
+            last_level: false,
+        }
+    }
+
+    /// The clock currently driving the output (or being handed off to).
+    pub fn selected(&self) -> VfMode {
+        self.pending.unwrap_or(self.active)
+    }
+
+    /// Request a switch to `mode`. Takes effect glitchlessly over the
+    /// next few cycles. Reselecting the currently active clock with no
+    /// switch in flight is a no-op; *canceling* a switch in flight
+    /// still goes through the full low-low handoff so the output never
+    /// produces a runt pulse.
+    pub fn select(&mut self, mode: VfMode) {
+        if mode == self.active && self.pending.is_none() && !self.draining {
+            return;
+        }
+        self.pending = Some(mode);
+    }
+
+    /// Advance one half PLL tick and return the output clock level
+    /// during that half tick.
+    pub fn tick(&mut self) -> bool {
+        let t = self.half_tick;
+        self.half_tick += 1;
+        let active_level = self.dividers[self.active as usize].level_at(t);
+
+        let out = if let Some(next) = self.pending {
+            if !self.draining {
+                // Phase 1: keep driving the old clock until it is low.
+                if active_level {
+                    true
+                } else {
+                    self.draining = true;
+                    false
+                }
+            } else {
+                // Phase 2: output held low until the new clock is also
+                // low, then hand over (its next rising edge is clean).
+                let next_level = self.dividers[next as usize].level_at(t);
+                if next_level {
+                    false
+                } else {
+                    self.active = next;
+                    self.pending = None;
+                    self.draining = false;
+                    false
+                }
+            }
+        } else {
+            active_level
+        };
+        self.last_level = out;
+        out
+    }
+
+    /// Current half-tick position.
+    pub fn position(&self) -> u64 {
+        self.half_tick
+    }
+}
+
+/// Measure all pulse widths (runs of equal level) in a waveform.
+/// Returns `(high_widths, low_widths)`, ignoring the first and last
+/// (possibly truncated) runs.
+pub fn pulse_widths(wave: &[bool]) -> (Vec<usize>, Vec<usize>) {
+    let mut highs = Vec::new();
+    let mut lows = Vec::new();
+    let mut runs: Vec<(bool, usize)> = Vec::new();
+    for &level in wave {
+        match runs.last_mut() {
+            Some((l, n)) if *l == level => *n += 1,
+            _ => runs.push((level, 1)),
+        }
+    }
+    if runs.len() > 2 {
+        for &(level, n) in &runs[1..runs.len() - 1] {
+            if level {
+                highs.push(n);
+            } else {
+                lows.push(n);
+            }
+        }
+    }
+    (highs, lows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clocks() -> ClockSet {
+        ClockSet::default()
+    }
+
+    #[test]
+    fn steady_state_follows_selected_divider() {
+        let mut sw = ClockSwitcher::new(&clocks(), VfMode::Nominal);
+        let wave: Vec<bool> = (0..24).map(|_| sw.tick()).collect();
+        let d = ClockDivider::new(3);
+        let expect: Vec<bool> = (0..24).map(|t| d.level_at(t)).collect();
+        assert_eq!(wave, expect);
+    }
+
+    #[test]
+    fn switch_is_glitch_free() {
+        // Switch nominal → sprint mid-stream; no pulse may be narrower
+        // than the sprint half-period (2 half ticks).
+        let mut sw = ClockSwitcher::new(&clocks(), VfMode::Nominal);
+        let mut wave = Vec::new();
+        for _ in 0..10 {
+            wave.push(sw.tick());
+        }
+        sw.select(VfMode::Sprint);
+        for _ in 0..60 {
+            wave.push(sw.tick());
+        }
+        let (highs, lows) = pulse_widths(&wave);
+        assert!(highs.iter().all(|&w| w >= 2), "runt high pulse: {highs:?}");
+        assert!(lows.iter().all(|&w| w >= 2), "runt low pulse: {lows:?}");
+        assert_eq!(sw.selected(), VfMode::Sprint);
+    }
+
+    #[test]
+    fn switch_to_rest_and_back() {
+        let mut sw = ClockSwitcher::new(&clocks(), VfMode::Sprint);
+        let mut wave = Vec::new();
+        for _ in 0..8 {
+            wave.push(sw.tick());
+        }
+        sw.select(VfMode::Rest);
+        for _ in 0..40 {
+            wave.push(sw.tick());
+        }
+        sw.select(VfMode::Sprint);
+        for _ in 0..40 {
+            wave.push(sw.tick());
+        }
+        let (highs, lows) = pulse_widths(&wave);
+        assert!(highs.iter().all(|&w| w >= 2), "{highs:?}");
+        assert!(lows.iter().all(|&w| w >= 2), "{lows:?}");
+    }
+
+    #[test]
+    fn after_switch_output_matches_new_divider_phase() {
+        // Once handed off, the output must re-join the globally aligned
+        // divider waveform (clocks stay phase-aligned to the PLL).
+        let mut sw = ClockSwitcher::new(&clocks(), VfMode::Nominal);
+        for _ in 0..6 {
+            sw.tick();
+        }
+        sw.select(VfMode::Sprint);
+        let mut wave = Vec::new();
+        for _ in 0..40 {
+            wave.push(sw.tick());
+        }
+        // Find handoff completion, then compare to the aligned div-2.
+        let d = ClockDivider::new(2);
+        let offset = 6;
+        // After at most one rest-hyperperiod of settling, levels match.
+        let settled = 20;
+        for (i, &level) in wave.iter().enumerate().skip(settled) {
+            let t = (offset + i) as u64;
+            assert_eq!(level, d.level_at(t), "at half tick {t}");
+        }
+    }
+
+    #[test]
+    fn reselecting_active_clock_is_noop() {
+        let mut sw = ClockSwitcher::new(&clocks(), VfMode::Nominal);
+        sw.select(VfMode::Nominal);
+        let wave: Vec<bool> = (0..12).map(|_| sw.tick()).collect();
+        let d = ClockDivider::new(3);
+        let expect: Vec<bool> = (0..12).map(|t| d.level_at(t)).collect();
+        assert_eq!(wave, expect);
+    }
+
+    #[test]
+    fn pulse_width_helper() {
+        let wave = [true, true, false, false, false, true, true, true, false];
+        let (h, l) = pulse_widths(&wave);
+        assert_eq!(h, vec![3]);
+        assert_eq!(l, vec![3]);
+    }
+}

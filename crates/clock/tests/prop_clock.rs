@@ -1,0 +1,121 @@
+//! Property tests over the ratiochronous clocking substrate.
+
+use proptest::prelude::*;
+use uecgra_clock::{
+    classify_crossing, sta, ClockDivider, ClockSet, ClockSwitcher, Suppressor, VfMode,
+};
+
+fn arb_clockset() -> impl Strategy<Value = ClockSet> {
+    (1u32..6, 1u32..5, 1u32..5).prop_map(|(sprint, nm, rm)| {
+        let nominal = sprint * nm;
+        let rest = nominal * rm;
+        ClockSet::new([rest, nominal, sprint]).expect("ordered")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn hyperperiod_is_common_multiple(clocks in arb_clockset()) {
+        let h = clocks.hyperperiod();
+        for m in VfMode::ALL {
+            prop_assert_eq!(h % clocks.period(m), 0);
+            prop_assert!(clocks.is_rising(m, 0));
+            prop_assert!(clocks.is_rising(m, h));
+        }
+    }
+
+    #[test]
+    fn next_and_last_rising_bracket_time(clocks in arb_clockset(), t in 0u64..200) {
+        for m in VfMode::ALL {
+            let last = clocks.last_rising(m, t);
+            let next = clocks.next_rising(m, t);
+            prop_assert!(last <= t && t < next);
+            prop_assert_eq!(next - last, clocks.period(m));
+            prop_assert!(clocks.is_rising(m, last));
+            prop_assert!(clocks.is_rising(m, next));
+        }
+    }
+
+    #[test]
+    fn dividers_always_hold_fifty_percent_duty(div in 1u32..16) {
+        let d = ClockDivider::new(div);
+        let period = 2 * u64::from(div);
+        let high = (0..period * 8).filter(|&t| d.level_at(t)).count() as u64;
+        prop_assert_eq!(high * 2, period * 8);
+    }
+
+    #[test]
+    fn classify_margins_never_exceed_source_period_plus_budget(clocks in arb_clockset()) {
+        for src in VfMode::ALL {
+            for dst in VfMode::ALL {
+                for e in classify_crossing(&clocks, src, dst) {
+                    prop_assert!(e.margin >= 1);
+                    prop_assert!(
+                        e.margin <= clocks.period(src) + clocks.period(dst),
+                        "{src}->{dst}: margin {} too large",
+                        e.margin
+                    );
+                    prop_assert_eq!(e.safe, e.margin >= clocks.period(dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sta_is_clean_for_every_plan(clocks in arb_clockset()) {
+        let report = sta::verify_all(&clocks);
+        prop_assert!(report.all_clean(), "{}", report);
+    }
+
+    #[test]
+    fn suppressor_never_allows_under_aged_unsafe_tokens(clocks in arb_clockset()) {
+        for src in VfMode::ALL {
+            for dst in VfMode::ALL {
+                let sup = Suppressor::new(&clocks, src, dst);
+                let h = clocks.hyperperiod();
+                for k in 1..=(2 * h / clocks.period(dst)) {
+                    let capture = k * clocks.period(dst);
+                    // A token written on the immediately preceding source
+                    // edge: allowed iff its age covers one receiver period.
+                    let written = clocks.last_rising(src, capture.saturating_sub(1));
+                    let aged = capture - written >= clocks.period(dst);
+                    let d = sup.decide(capture, written);
+                    if d.allow {
+                        prop_assert!(
+                            aged || !d.edge_unsafe,
+                            "{src}->{dst}@{capture}: fresh token crossed an unsafe edge"
+                        );
+                    } else {
+                        prop_assert!(!aged, "{src}->{dst}@{capture}: aged token blocked");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn switcher_never_glitches_under_random_sequences(
+        selections in proptest::collection::vec(0usize..3, 1..6),
+        gaps in proptest::collection::vec(4u32..40, 6),
+    ) {
+        let clocks = ClockSet::default();
+        let mut sw = ClockSwitcher::new(&clocks, VfMode::Nominal);
+        let mut wave = Vec::new();
+        for (i, &sel) in selections.iter().enumerate() {
+            sw.select(VfMode::ALL[sel]);
+            for _ in 0..gaps[i % gaps.len()] {
+                wave.push(sw.tick());
+            }
+        }
+        for _ in 0..40 {
+            wave.push(sw.tick());
+        }
+        let (highs, lows) = uecgra_clock::switcher::pulse_widths(&wave);
+        // The narrowest legal pulse is the sprint half-period (2 half
+        // ticks).
+        prop_assert!(highs.iter().all(|&w| w >= 2), "runt high: {highs:?}");
+        prop_assert!(lows.iter().all(|&w| w >= 2), "runt low: {lows:?}");
+    }
+}

@@ -1,0 +1,323 @@
+//! The compiler's loop intermediate representation.
+//!
+//! The UE-CGRA compiler maps small innermost loops (~10 ops reused
+//! 10K+ times, paper Section VI-A). This IR captures exactly that
+//! shape: one counted loop with loop-carried scalars, straight-line
+//! statements, and at most structured `if/else` regions. The
+//! [`crate::frontend`] pass lowers it to a dataflow graph with control
+//! converted to `phi`/`br` dataflow, the same transformation the
+//! paper's LLVM CDFG pass performs.
+
+use std::fmt;
+use uecgra_dfg::Op;
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A named scalar (loop variable, carried scalar, or local).
+    Var(String),
+    /// A 32-bit constant.
+    Const(u32),
+    /// A binary ALU operation.
+    Bin(Op, Box<Expr>, Box<Expr>),
+    /// A scratchpad load from a word address.
+    Load(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: a variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Shorthand: a binary operation.
+    pub fn bin(op: Op, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Shorthand: `lhs + rhs`.
+    // Deliberately named after the operation it builds; it is an
+    // associated constructor, not an operator overload.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(Op::Add, lhs, rhs)
+    }
+
+    /// Shorthand: a load.
+    pub fn load(addr: Expr) -> Expr {
+        Expr::Load(Box::new(addr))
+    }
+
+    /// Variables read by this expression, appended to `out`.
+    pub fn reads(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Bin(_, a, b) => {
+                a.reads(out);
+                b.reads(out);
+            }
+            Expr::Load(a) => a.reads(out),
+        }
+    }
+}
+
+/// A statement in a loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `name = expr`.
+    Assign(String, Expr),
+    /// `mem[addr] = value`.
+    Store {
+        /// Word address expression.
+        addr: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// Structured `if (cond) { then } else { else }`. Arms contain only
+    /// `Assign` and `Store` statements (no nesting) — sufficient for
+    /// the paper's kernels and keeps br/phi conversion tractable.
+    If {
+        /// The branch condition (nonzero = then-arm).
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then_arm: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_arm: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Shorthand: an assignment.
+    pub fn assign(name: &str, expr: Expr) -> Stmt {
+        Stmt::Assign(name.to_string(), expr)
+    }
+}
+
+/// A loop-carried scalar with its initial value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Carried {
+    /// Variable name.
+    pub name: String,
+    /// Value before iteration zero.
+    pub init: u32,
+}
+
+/// A counted innermost loop:
+///
+/// ```text
+/// for (var = 0; var < trip_count; ++var) { body }
+/// ```
+///
+/// with `carried` scalars live across iterations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Induction variable name.
+    pub var: String,
+    /// Trip count.
+    pub trip_count: u32,
+    /// Loop-carried scalars.
+    pub carried: Vec<Carried>,
+    /// The loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// Errors reported by IR validation and lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A variable was read before any definition reaches it.
+    UndefinedVar(String),
+    /// `If` arms may not nest further `If` statements.
+    NestedIf,
+    /// The op is not a two-input ALU op usable in expressions.
+    BadExprOp(Op),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UndefinedVar(v) => write!(f, "variable `{v}` read before definition"),
+            IrError::NestedIf => write!(f, "nested if statements are not supported"),
+            IrError::BadExprOp(op) => write!(f, "op `{op}` cannot appear in an expression"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl LoopNest {
+    /// Validate structural rules: no nested ifs, only ALU ops in
+    /// expressions, every read reachable from a definition (the
+    /// induction variable, a carried scalar, or an earlier assign).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`IrError`] found.
+    pub fn validate(&self) -> Result<(), IrError> {
+        let mut defined: Vec<String> = vec![self.var.clone()];
+        defined.extend(self.carried.iter().map(|c| c.name.clone()));
+        check_stmts(&self.body, &mut defined, false)
+    }
+}
+
+fn check_expr(expr: &Expr, defined: &[String]) -> Result<(), IrError> {
+    match expr {
+        Expr::Var(v) => {
+            if defined.iter().any(|d| d == v) {
+                Ok(())
+            } else {
+                Err(IrError::UndefinedVar(v.clone()))
+            }
+        }
+        Expr::Const(_) => Ok(()),
+        Expr::Bin(op, a, b) => {
+            if matches!(
+                op,
+                Op::Phi | Op::Br | Op::Load | Op::Store | Op::Source | Op::Sink | Op::Nop
+            ) {
+                return Err(IrError::BadExprOp(*op));
+            }
+            check_expr(a, defined)?;
+            check_expr(b, defined)
+        }
+        Expr::Load(a) => check_expr(a, defined),
+    }
+}
+
+fn check_stmts(stmts: &[Stmt], defined: &mut Vec<String>, in_arm: bool) -> Result<(), IrError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign(name, expr) => {
+                check_expr(expr, defined)?;
+                if !defined.contains(name) {
+                    defined.push(name.clone());
+                }
+            }
+            Stmt::Store { addr, value } => {
+                check_expr(addr, defined)?;
+                check_expr(value, defined)?;
+            }
+            Stmt::If {
+                cond,
+                then_arm,
+                else_arm,
+            } => {
+                if in_arm {
+                    return Err(IrError::NestedIf);
+                }
+                check_expr(cond, defined)?;
+                // Each arm sees the pre-if environment; defs union after.
+                let mut then_env = defined.clone();
+                check_stmts(then_arm, &mut then_env, true)?;
+                let mut else_env = defined.clone();
+                check_stmts(else_arm, &mut else_env, true)?;
+                for v in then_env.into_iter().chain(else_env) {
+                    if !defined.contains(&v) {
+                        defined.push(v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_loop() -> LoopNest {
+        LoopNest {
+            var: "i".into(),
+            trip_count: 10,
+            carried: vec![Carried {
+                name: "acc".into(),
+                init: 0,
+            }],
+            body: vec![Stmt::assign(
+                "acc",
+                Expr::add(Expr::var("acc"), Expr::load(Expr::var("i"))),
+            )],
+        }
+    }
+
+    #[test]
+    fn valid_loop_validates() {
+        simple_loop().validate().unwrap();
+    }
+
+    #[test]
+    fn undefined_variable_is_rejected() {
+        let mut l = simple_loop();
+        l.body
+            .push(Stmt::assign("x", Expr::add(Expr::var("ghost"), Expr::Const(1))));
+        assert_eq!(l.validate(), Err(IrError::UndefinedVar("ghost".into())));
+    }
+
+    #[test]
+    fn nested_if_is_rejected() {
+        let inner = Stmt::If {
+            cond: Expr::Const(1),
+            then_arm: vec![],
+            else_arm: vec![],
+        };
+        let l = LoopNest {
+            var: "i".into(),
+            trip_count: 1,
+            carried: vec![],
+            body: vec![Stmt::If {
+                cond: Expr::Const(1),
+                then_arm: vec![inner],
+                else_arm: vec![],
+            }],
+        };
+        assert_eq!(l.validate(), Err(IrError::NestedIf));
+    }
+
+    #[test]
+    fn structural_op_in_expression_is_rejected() {
+        let l = LoopNest {
+            var: "i".into(),
+            trip_count: 1,
+            carried: vec![],
+            body: vec![Stmt::assign(
+                "x",
+                Expr::bin(Op::Phi, Expr::var("i"), Expr::Const(0)),
+            )],
+        };
+        assert_eq!(l.validate(), Err(IrError::BadExprOp(Op::Phi)));
+    }
+
+    #[test]
+    fn arm_definitions_merge_after_if() {
+        let l = LoopNest {
+            var: "i".into(),
+            trip_count: 4,
+            carried: vec![],
+            body: vec![
+                Stmt::If {
+                    cond: Expr::var("i"),
+                    then_arm: vec![Stmt::assign("x", Expr::Const(1))],
+                    else_arm: vec![Stmt::assign("x", Expr::Const(2))],
+                },
+                Stmt::assign("y", Expr::add(Expr::var("x"), Expr::Const(3))),
+            ],
+        };
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn expr_reads_collects_unique_vars() {
+        let e = Expr::add(
+            Expr::var("a"),
+            Expr::bin(Op::Mul, Expr::var("b"), Expr::var("a")),
+        );
+        let mut reads = Vec::new();
+        e.reads(&mut reads);
+        assert_eq!(reads, vec!["a".to_string(), "b".to_string()]);
+    }
+}

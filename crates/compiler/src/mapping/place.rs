@@ -1,0 +1,240 @@
+//! Placement: assign DFG nodes to PEs.
+//!
+//! A greedy constructive pass (nodes in forward dataflow order, each
+//! taking the legal free PE closest to its placed neighbors) followed
+//! by simulated-annealing refinement over pairwise swaps/moves.
+//! Memory ops are constrained to the north/south perimeter rows, which
+//! hold the SRAM banks. Deterministic for a given seed.
+
+use super::{ArrayShape, Coord, MapError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uecgra_dfg::analysis::TopoOrder;
+use uecgra_dfg::{Dfg, NodeId};
+
+/// A placement: node → PE coordinate (pseudo-ops are off-fabric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    coords: Vec<Option<Coord>>,
+}
+
+impl Placement {
+    /// Coordinate of `node`, if it is on the fabric.
+    pub fn coord(&self, node: NodeId) -> Option<Coord> {
+        self.coords[node.index()]
+    }
+
+    /// All node coordinates (indexed by `NodeId::index`).
+    pub fn coords(&self) -> impl Iterator<Item = Option<Coord>> + '_ {
+        self.coords.iter().copied()
+    }
+
+    /// The node occupying `coord`, if any.
+    pub fn node_at(&self, coord: Coord) -> Option<NodeId> {
+        self.coords
+            .iter()
+            .position(|&c| c == Some(coord))
+            .map(NodeId::from_index)
+    }
+
+    /// Total Manhattan wirelength of all on-fabric edges.
+    pub fn wirelength(&self, dfg: &Dfg) -> usize {
+        dfg.edges()
+            .filter_map(|(_, e)| {
+                match (self.coords[e.src.index()], self.coords[e.dst.index()]) {
+                    (Some(a), Some(b)) => Some(ArrayShape::manhattan(a, b)),
+                    _ => None,
+                }
+            })
+            .sum()
+    }
+}
+
+/// Place `dfg` onto `shape`.
+///
+/// # Errors
+///
+/// Returns [`MapError::TooManyNodes`] / [`MapError::TooManyMemoryNodes`]
+/// when the graph cannot fit.
+pub fn place(dfg: &Dfg, shape: ArrayShape, seed: u64) -> Result<Placement, MapError> {
+    let fabric_nodes: Vec<NodeId> = dfg
+        .nodes()
+        .filter(|(_, n)| !n.op.is_pseudo())
+        .map(|(id, _)| id)
+        .collect();
+    if fabric_nodes.len() > shape.len() {
+        return Err(MapError::TooManyNodes {
+            nodes: fabric_nodes.len(),
+            pes: shape.len(),
+        });
+    }
+    let mem_nodes = fabric_nodes
+        .iter()
+        .filter(|&&n| dfg.node(n).op.is_memory())
+        .count();
+    if mem_nodes > shape.memory_capacity() {
+        return Err(MapError::TooManyMemoryNodes {
+            nodes: mem_nodes,
+            slots: shape.memory_capacity(),
+        });
+    }
+
+    let mut coords: Vec<Option<Coord>> = vec![None; dfg.node_count()];
+    let mut occupied: Vec<Vec<bool>> = vec![vec![false; shape.width]; shape.height];
+
+    // Greedy construction in forward dataflow order.
+    let topo = TopoOrder::compute(dfg);
+    for &node in topo.order() {
+        if dfg.node(node).op.is_pseudo() {
+            continue;
+        }
+        let neighbors: Vec<Coord> = dfg
+            .predecessors(node)
+            .chain(dfg.successors(node))
+            .filter_map(|m| coords[m.index()])
+            .collect();
+        let legal = |c: Coord| {
+            !occupied[c.1][c.0]
+                && (!dfg.node(node).op.is_memory() || shape.is_memory_row(c))
+        };
+        let best = shape
+            .coords()
+            .filter(|&c| legal(c))
+            .min_by_key(|&c| {
+                let attraction: usize =
+                    neighbors.iter().map(|&n| ArrayShape::manhattan(c, n)).sum();
+                // Prefer center-out when unconstrained, to leave the
+                // perimeter for memory ops.
+                let center_bias = if neighbors.is_empty() {
+                    c.1.abs_diff(shape.height / 2) + c.0.abs_diff(shape.width / 2)
+                } else {
+                    0
+                };
+                (attraction * 64 + center_bias, c.1 * shape.width + c.0)
+            })
+            .expect("capacity checked above");
+        coords[node.index()] = Some(best);
+        occupied[best.1][best.0] = true;
+    }
+
+    // Simulated-annealing refinement.
+    let mut placement = Placement { coords };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = placement.wirelength(dfg) as f64;
+    let mut temperature = 2.0;
+    let sweeps = 4000;
+    for _ in 0..sweeps {
+        let i = fabric_nodes[rng.random_range(0..fabric_nodes.len())];
+        let target: Coord = (
+            rng.random_range(0..shape.width),
+            rng.random_range(0..shape.height),
+        );
+        if !move_is_legal(dfg, shape, &placement, i, target) {
+            temperature *= 0.999;
+            continue;
+        }
+        let old = placement.clone();
+        apply_move(&mut placement, i, target);
+        let new_cost = placement.wirelength(dfg) as f64;
+        let delta = new_cost - cost;
+        if delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp() {
+            cost = new_cost;
+        } else {
+            placement = old;
+        }
+        temperature *= 0.999;
+    }
+    Ok(placement)
+}
+
+/// A move places node `i` at `target`, swapping with any occupant.
+/// Legal iff both nodes respect the memory-row constraint afterwards.
+fn move_is_legal(
+    dfg: &Dfg,
+    shape: ArrayShape,
+    placement: &Placement,
+    node: NodeId,
+    target: Coord,
+) -> bool {
+    if dfg.node(node).op.is_memory() && !shape.is_memory_row(target) {
+        return false;
+    }
+    if let Some(other) = placement.node_at(target) {
+        if other == node {
+            return false;
+        }
+        let my_coord = placement.coord(node).expect("fabric node placed");
+        if dfg.node(other).op.is_memory() && !shape.is_memory_row(my_coord) {
+            return false;
+        }
+    }
+    true
+}
+
+fn apply_move(placement: &mut Placement, node: NodeId, target: Coord) {
+    let my_coord = placement.coord(node).expect("fabric node placed");
+    if let Some(other) = placement.node_at(target) {
+        placement.coords[other.index()] = Some(my_coord);
+    }
+    placement.coords[node.index()] = Some(target);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uecgra_dfg::kernels::synthetic;
+    use uecgra_dfg::Op;
+
+    #[test]
+    fn chain_places_compactly() {
+        let s = synthetic::chain(6);
+        let p = place(&s.dfg, ArrayShape::default(), 1).unwrap();
+        // A 6-node chain has minimum wirelength 5 (nodes adjacent).
+        let wl = p.wirelength(&s.dfg);
+        assert!(wl <= 8, "wirelength {wl} too loose for a 6-chain");
+    }
+
+    #[test]
+    fn ring_places_compactly() {
+        let s = synthetic::cycle_n(4);
+        let p = place(&s.dfg, ArrayShape::default(), 1).unwrap();
+        // A 4-ring fits a 2x2 block: wirelength 4.
+        assert!(p.wirelength(&s.dfg) <= 6);
+    }
+
+    #[test]
+    fn memory_nodes_stay_on_perimeter_after_annealing() {
+        let mut g = uecgra_dfg::Dfg::new();
+        let mut prev = g.add_node(Op::Load, "ld0").constant(0).id();
+        for i in 1..6 {
+            let n = g.add_node(Op::Add, format!("a{i}")).constant(1).id();
+            g.connect(prev, n);
+            prev = n;
+        }
+        let st = g.add_node(Op::Store, "st").constant(0).id();
+        g.connect(prev, st);
+        for seed in 0..5 {
+            let p = place(&g, ArrayShape::default(), seed).unwrap();
+            let shape = ArrayShape::default();
+            for (id, n) in g.nodes() {
+                if n.op.is_memory() {
+                    assert!(shape.is_memory_row(p.coord(id).unwrap()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_at_inverts_coord() {
+        let s = synthetic::chain(4);
+        let p = place(&s.dfg, ArrayShape::default(), 0).unwrap();
+        for (id, n) in s.dfg.nodes() {
+            if n.op.is_pseudo() {
+                continue;
+            }
+            let c = p.coord(id).unwrap();
+            assert_eq!(p.node_at(c), Some(id));
+        }
+        assert!(p.node_at((7, 7)).is_none());
+    }
+}

@@ -1,0 +1,500 @@
+//! Routing: per-net Steiner trees through the inter-PE network.
+//!
+//! All edges leaving the same output port of a node carry the *same
+//! value*, so they are routed together as one **net** that may fork at
+//! intermediate PEs (the PE's output muxes can select one bypass
+//! message for several directions at once). Each directed inter-PE
+//! link carries one net; each PE can bypass at most two distinct nets
+//! through itself (the two bypass paths of the UE-CGRA PE, paper
+//! Section IV-A).
+//!
+//! Per-sink paths are found with Dijkstra — "a valid path to route
+//! dependencies is calculated with Dijkstra's algorithm" (Section
+//! VI-A) — growing each net's tree incrementally (existing tree links
+//! are free), inside a PathFinder-style negotiated-congestion loop
+//! that reroutes everything with rising penalties on oversubscribed
+//! links and bypasses until the routing is feasible.
+
+use super::{ArrayShape, Coord, MapError, Placement};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use uecgra_dfg::{Dfg, EdgeId, NodeId};
+
+/// A routed edge: the sequence of PE coordinates from producer to
+/// consumer (inclusive), following the net's tree. Empty for
+/// off-fabric edges; `[c]` for self-loops through the PE's
+/// multi-purpose register.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Route {
+    /// PE coordinates along the route.
+    pub path: Vec<Coord>,
+}
+
+/// A net: one value stream from a node output port to all its sinks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Producing node.
+    pub src: NodeId,
+    /// Output port on the producer.
+    pub src_port: u8,
+    /// Source coordinate.
+    pub root: Coord,
+    /// The routed tree: child coordinate → parent coordinate (toward
+    /// the root). The root itself is absent.
+    pub parent: HashMap<Coord, Coord>,
+    /// The DFG edges this net serves.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Net {
+    /// All coordinates the net touches (root, interior, sinks).
+    pub fn coords(&self) -> HashSet<Coord> {
+        let mut s: HashSet<Coord> = self.parent.keys().copied().collect();
+        s.insert(self.root);
+        s
+    }
+
+    /// Children of `coord` in the tree (fan-out directions).
+    pub fn children(&self, coord: Coord) -> Vec<Coord> {
+        let mut c: Vec<Coord> = self
+            .parent
+            .iter()
+            .filter(|&(_, &p)| p == coord)
+            .map(|(&child, _)| child)
+            .collect();
+        c.sort();
+        c
+    }
+}
+
+/// Result of routing: per-edge paths plus the nets they belong to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routing {
+    /// Per-edge route (indexed by `EdgeId::index`).
+    pub routes: Vec<Route>,
+    /// All routed nets.
+    pub nets: Vec<Net>,
+    /// Net index of each edge (`usize::MAX` for off-fabric edges).
+    pub net_of_edge: Vec<usize>,
+}
+
+/// Capacity of a directed inter-PE link (one net).
+const LINK_CAPACITY: u32 = 1;
+/// Distinct nets a PE can bypass.
+const BYPASS_CAPACITY: u32 = 2;
+/// Negotiation rounds before giving up.
+const MAX_ROUNDS: usize = 80;
+/// Base cost of traversing one link.
+const BASE_COST: u64 = 16;
+
+#[derive(Default, Clone)]
+struct Usage {
+    links: HashMap<(Coord, Coord), u32>,
+    bypass: HashMap<Coord, u32>,
+}
+
+impl Usage {
+    fn overused(&self) -> bool {
+        self.links.values().any(|&u| u > LINK_CAPACITY)
+            || self.bypass.values().any(|&u| u > BYPASS_CAPACITY)
+    }
+}
+
+/// Route every edge of `dfg` under a fixed placement.
+///
+/// # Errors
+///
+/// Returns [`MapError::Unroutable`] when negotiation fails to converge
+/// within the round budget.
+pub fn route_all(
+    dfg: &Dfg,
+    shape: ArrayShape,
+    placement: &Placement,
+    seed: u64,
+) -> Result<Routing, MapError> {
+    // Build nets from on-fabric edges, keyed by (src node, src port).
+    let mut net_index: HashMap<(NodeId, u8), usize> = HashMap::new();
+    struct ProtoNet {
+        src: NodeId,
+        src_port: u8,
+        root: Coord,
+        sinks: Vec<(EdgeId, Coord)>,
+    }
+    let mut protos: Vec<ProtoNet> = Vec::new();
+    for (id, e) in dfg.edges() {
+        let (Some(s), Some(d)) = (placement.coord(e.src), placement.coord(e.dst)) else {
+            continue;
+        };
+        let key = (e.src, e.src_port);
+        let idx = *net_index.entry(key).or_insert_with(|| {
+            protos.push(ProtoNet {
+                src: e.src,
+                src_port: e.src_port,
+                root: s,
+                sinks: Vec::new(),
+            });
+            protos.len() - 1
+        });
+        protos[idx].sinks.push((id, d));
+    }
+
+    // Net order: largest bounding box first; seed breaks ties only.
+    let mut order: Vec<usize> = (0..protos.len()).collect();
+    let span = |p: &ProtoNet| -> usize {
+        p.sinks
+            .iter()
+            .map(|&(_, d)| ArrayShape::manhattan(p.root, d))
+            .max()
+            .unwrap_or(0)
+    };
+    order.sort_by_key(|&i| {
+        (
+            usize::MAX - span(&protos[i]),
+            (i as u64).wrapping_mul(seed | 1) % 97,
+            i,
+        )
+    });
+
+    let mut history: HashMap<Resource, u64> = HashMap::new();
+
+    for round in 0..MAX_ROUNDS {
+        let pressure = BASE_COST * (round as u64 + 1);
+        let mut usage = Usage::default();
+        let mut built: Vec<Option<Net>> = (0..protos.len()).map(|_| None).collect();
+
+        for &pi in &order {
+            let p = &protos[pi];
+            let net = route_net(shape, p.root, &p.sinks, &usage, &history, pressure);
+            // Charge usage: each tree link once; bypass once per
+            // interior PE of this net.
+            for (&child, &parent) in &net.parent {
+                *usage.links.entry((parent, child)).or_insert(0) += 1;
+            }
+            // Any PE that forwards this net onward (appears as a
+            // parent of a tree link) other than the root consumes one
+            // of its two bypass paths.
+            let forwarding: HashSet<Coord> = net
+                .parent
+                .values()
+                .copied()
+                .filter(|&c| c != p.root)
+                .collect();
+            for c in forwarding {
+                *usage.bypass.entry(c).or_insert(0) += 1;
+            }
+            built[pi] = Some(Net {
+                src: p.src,
+                src_port: p.src_port,
+                root: p.root,
+                parent: net.parent,
+                edges: p.sinks.iter().map(|&(id, _)| id).collect(),
+            });
+        }
+
+        if !usage.overused() {
+            return Ok(finish(dfg, placement, built.into_iter().flatten().collect()));
+        }
+
+        for (&link, &u) in &usage.links {
+            if u > LINK_CAPACITY {
+                *history.entry(Resource::Link(link)).or_insert(0) +=
+                    u64::from(u - LINK_CAPACITY) * BASE_COST;
+            }
+        }
+        for (&pe, &u) in &usage.bypass {
+            if u > BYPASS_CAPACITY {
+                *history.entry(Resource::Bypass(pe)).or_insert(0) +=
+                    u64::from(u - BYPASS_CAPACITY) * BASE_COST;
+            }
+        }
+    }
+
+    // Blame the widest net's first edge for diagnostics.
+    let widest = order
+        .first()
+        .and_then(|&i| protos[i].sinks.first())
+        .map(|&(id, _)| id)
+        .unwrap_or_else(|| EdgeId::from_index(0));
+    Err(MapError::Unroutable(widest))
+}
+
+struct TreeResult {
+    parent: HashMap<Coord, Coord>,
+}
+
+/// Grow one net's tree: route each sink to the nearest point of the
+/// existing tree with congestion-aware Dijkstra.
+fn route_net(
+    shape: ArrayShape,
+    root: Coord,
+    sinks: &[(EdgeId, Coord)],
+    usage: &Usage,
+    history: &HashMap<Resource, u64>,
+    pressure: u64,
+) -> TreeResult {
+    let mut parent: HashMap<Coord, Coord> = HashMap::new();
+    let mut tree: HashSet<Coord> = HashSet::from([root]);
+    // Farthest sinks first, so trunks are laid before twigs.
+    let mut ordered: Vec<Coord> = sinks.iter().map(|&(_, d)| d).collect();
+    ordered.sort_by_key(|&d| (usize::MAX - ArrayShape::manhattan(root, d), d));
+    ordered.dedup();
+
+    for sink in ordered {
+        if tree.contains(&sink) {
+            continue;
+        }
+        let path = dijkstra_to_tree(shape, &tree, sink, usage, history, pressure);
+        // Path runs tree-point → sink; record parents.
+        for w in path.windows(2) {
+            parent.insert(w[1], w[0]);
+            tree.insert(w[1]);
+        }
+    }
+    TreeResult { parent }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Resource {
+    Link((Coord, Coord)),
+    Bypass(Coord),
+}
+
+/// Multi-source Dijkstra from the whole tree to `sink`. Always
+/// succeeds (costs are finite on a connected grid).
+fn dijkstra_to_tree(
+    shape: ArrayShape,
+    tree: &HashSet<Coord>,
+    sink: Coord,
+    usage: &Usage,
+    history: &HashMap<Resource, u64>,
+    pressure: u64,
+) -> Vec<Coord> {
+    #[derive(PartialEq, Eq)]
+    struct Entry {
+        cost: u64,
+        coord: Coord,
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other
+                .cost
+                .cmp(&self.cost)
+                .then_with(|| self.coord.cmp(&other.coord))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut dist: HashMap<Coord, u64> = HashMap::new();
+    let mut prev: HashMap<Coord, Coord> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    for &t in tree {
+        dist.insert(t, 0);
+        heap.push(Entry { cost: 0, coord: t });
+    }
+
+    while let Some(Entry { cost, coord }) = heap.pop() {
+        if coord == sink {
+            let mut path = vec![sink];
+            let mut cur = sink;
+            while let Some(&p) = prev.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return path;
+        }
+        if cost > dist.get(&coord).copied().unwrap_or(u64::MAX) {
+            continue;
+        }
+        for next in neighbors(shape, coord) {
+            let link = (coord, next);
+            let mut step = BASE_COST;
+            step += history.get(&Resource::Link(link)).copied().unwrap_or(0);
+            let link_use = usage.links.get(&link).copied().unwrap_or(0);
+            if link_use >= LINK_CAPACITY {
+                step += pressure * u64::from(link_use - LINK_CAPACITY + 1);
+            }
+            if next != sink {
+                step += history.get(&Resource::Bypass(next)).copied().unwrap_or(0);
+                let by_use = usage.bypass.get(&next).copied().unwrap_or(0);
+                if by_use >= BYPASS_CAPACITY {
+                    step += pressure * u64::from(by_use - BYPASS_CAPACITY + 1);
+                }
+            }
+            let ncost = cost + step;
+            if ncost < dist.get(&next).copied().unwrap_or(u64::MAX) {
+                dist.insert(next, ncost);
+                prev.insert(next, coord);
+                heap.push(Entry {
+                    cost: ncost,
+                    coord: next,
+                });
+            }
+        }
+    }
+    unreachable!("grid is connected; a path always exists")
+}
+
+/// Extract per-edge paths from finished nets.
+fn finish(dfg: &Dfg, placement: &Placement, nets: Vec<Net>) -> Routing {
+    let mut routes = vec![Route::default(); dfg.edge_count()];
+    let mut net_of_edge = vec![usize::MAX; dfg.edge_count()];
+
+    for (ni, net) in nets.iter().enumerate() {
+        for &eid in &net.edges {
+            let edge = dfg.edge(eid);
+            let sink = placement
+                .coord(edge.dst)
+                .expect("net edges have placed endpoints");
+            net_of_edge[eid.index()] = ni;
+            if sink == net.root {
+                // Self-loop through the multi-purpose register.
+                routes[eid.index()] = Route {
+                    path: vec![net.root],
+                };
+                continue;
+            }
+            // Walk parents from the sink back to the root.
+            let mut path = vec![sink];
+            let mut cur = sink;
+            while cur != net.root {
+                cur = *net
+                    .parent
+                    .get(&cur)
+                    .expect("sink is connected to the net's root");
+                path.push(cur);
+            }
+            path.reverse();
+            routes[eid.index()] = Route { path };
+        }
+    }
+
+    Routing {
+        routes,
+        nets,
+        net_of_edge,
+    }
+}
+
+fn neighbors(shape: ArrayShape, (x, y): Coord) -> Vec<Coord> {
+    let mut n = Vec::with_capacity(4);
+    if x > 0 {
+        n.push((x - 1, y));
+    }
+    if x + 1 < shape.width {
+        n.push((x + 1, y));
+    }
+    if y > 0 {
+        n.push((x, y - 1));
+    }
+    if y + 1 < shape.height {
+        n.push((x, y + 1));
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::place::place;
+    use uecgra_dfg::{Dfg, Op};
+
+    #[test]
+    fn single_edge_routes_shortest() {
+        let mut g = Dfg::new();
+        let a = g.add_node(Op::Phi, "a").init(0).id();
+        let b = g.add_node(Op::Add, "b").constant(1).id();
+        g.connect(a, b);
+        g.connect(b, a);
+        let shape = ArrayShape::default();
+        let placement = place(&g, shape, 0).unwrap();
+        let routing = route_all(&g, shape, &placement, 0).unwrap();
+        for (id, _) in g.edges() {
+            let p = &routing.routes[id.index()];
+            assert_eq!(p.path.len(), 2, "adjacent placement → 1-hop route");
+        }
+    }
+
+    #[test]
+    fn fanout_shares_one_net() {
+        // One producer feeding five consumers: impossible with disjoint
+        // per-edge paths (only 4 output links), fine as a forked net.
+        let mut g = Dfg::new();
+        let src = g.add_node(Op::Phi, "s").init(0).id();
+        g.connect(src, src); // keep it firing
+        for i in 0..5 {
+            let c = g.add_node(Op::Add, format!("c{i}")).constant(1).id();
+            g.connect_ports(src, 0, c, 0);
+        }
+        let shape = ArrayShape::default();
+        let placement = place(&g, shape, 1).unwrap();
+        let routing = route_all(&g, shape, &placement, 1).unwrap();
+        // All six edges (self + 5 consumers) share one net.
+        let nets: HashSet<usize> = routing
+            .net_of_edge
+            .iter()
+            .copied()
+            .filter(|&n| n != usize::MAX)
+            .collect();
+        assert_eq!(nets.len(), 1);
+    }
+
+    #[test]
+    fn different_ports_are_different_nets() {
+        let mut g = Dfg::new();
+        let s = g.add_node(Op::Source, "s").id();
+        let c = g.add_node(Op::Source, "c").id();
+        let br = g.add_node(Op::Br, "br").id();
+        let t = g.add_node(Op::Add, "t").constant(0).id();
+        let f = g.add_node(Op::Add, "f").constant(0).id();
+        g.connect_ports(s, 0, br, 0);
+        g.connect_ports(c, 0, br, 1);
+        let e_t = g.connect_ports(br, 0, t, 0);
+        let e_f = g.connect_ports(br, 1, f, 0);
+        let shape = ArrayShape::default();
+        let placement = place(&g, shape, 0).unwrap();
+        let routing = route_all(&g, shape, &placement, 0).unwrap();
+        assert_ne!(
+            routing.net_of_edge[e_t.index()],
+            routing.net_of_edge[e_f.index()],
+            "br's two ports carry different values"
+        );
+    }
+
+    #[test]
+    fn distinct_nets_use_distinct_links() {
+        let mut g = Dfg::new();
+        let a = g.add_node(Op::Phi, "a").init(0).id();
+        let b = g.add_node(Op::Add, "b").constant(1).id();
+        let c = g.add_node(Op::Add, "c").constant(1).id();
+        g.connect(a, b);
+        g.connect(b, c);
+        g.connect(c, a);
+        let shape = ArrayShape::default();
+        let placement = place(&g, shape, 2).unwrap();
+        let routing = route_all(&g, shape, &placement, 2).unwrap();
+        let mut seen: HashMap<(Coord, Coord), usize> = HashMap::new();
+        for (ni, net) in routing.nets.iter().enumerate() {
+            for (&child, &parent) in &net.parent {
+                if let Some(&other) = seen.get(&(parent, child)) {
+                    panic!("link {parent:?}→{child:?} used by nets {other} and {ni}");
+                }
+                seen.insert((parent, child), ni);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_route_in_place() {
+        let mut g = Dfg::new();
+        let acc = g.add_node(Op::Phi, "acc").init(0).id();
+        g.connect(acc, acc);
+        let shape = ArrayShape::default();
+        let placement = place(&g, shape, 0).unwrap();
+        let routing = route_all(&g, shape, &placement, 0).unwrap();
+        assert_eq!(routing.routes[0].path.len(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Dataflow-graph optimizations: common-subexpression elimination and
+//! dead-code elimination.
+//!
+//! The frontend lowers each expression occurrence fresh, so source
+//! like `dither`'s `out` used three times produces duplicate address
+//! adders and loads-of-the-same-stream. CSE merges *pure* nodes with
+//! identical operations and inputs; DCE removes nodes with no path to
+//! a side effect (a store or a live-out sink). Fewer nodes means fewer
+//! PEs to place, shorter routes, and less energy — the paper's small
+//! kernels fit easily either way, but a production compiler would not
+//! ship without these.
+
+use std::collections::{HashMap, HashSet};
+use uecgra_dfg::{Dfg, NodeId, Op};
+
+/// Result of an optimization pipeline over a graph.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The optimized graph.
+    pub dfg: Dfg,
+    /// Old node → new node (None if eliminated).
+    pub node_map: Vec<Option<NodeId>>,
+}
+
+impl Optimized {
+    /// Remap a node id from the original graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was eliminated.
+    pub fn remap(&self, old: NodeId) -> NodeId {
+        self.node_map[old.index()].expect("node survived optimization")
+    }
+}
+
+/// True for ops CSE may merge: deterministic, side-effect free, and
+/// single-token-in/out. Memory ops are excluded (stores interleave),
+/// as are phis (stateful init), brs (two outputs), and pseudo-ops.
+fn pure_op(op: Op) -> bool {
+    !matches!(
+        op,
+        Op::Load | Op::Store | Op::Phi | Op::Br | Op::Source | Op::Sink
+    )
+}
+
+/// Merge identical pure nodes until fixpoint.
+pub fn common_subexpression(dfg: &Dfg) -> Optimized {
+    // Union-find over nodes: map each node to its representative.
+    let n = dfg.node_count();
+    let mut rep: Vec<usize> = (0..n).collect();
+    fn find(rep: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while rep[r] != r {
+            r = rep[r];
+        }
+        let mut cur = x;
+        while rep[cur] != r {
+            let nx = rep[cur];
+            rep[cur] = r;
+            cur = nx;
+        }
+        r
+    }
+
+    loop {
+        let mut changed = false;
+        // Key: (op, constant, sorted (port -> (rep(src), src_port))).
+        type CseKey = (Op, Option<u32>, Vec<(u8, usize, u8)>);
+        let mut seen: HashMap<CseKey, usize> = HashMap::new();
+        for (id, node) in dfg.nodes() {
+            if !pure_op(node.op) {
+                continue;
+            }
+            let me = find(&mut rep, id.index());
+            if me != id.index() {
+                continue; // already merged away
+            }
+            let mut inputs: Vec<(u8, usize, u8)> = dfg
+                .inputs(id)
+                .map(|(_, e)| (e.dst_port, find(&mut rep, e.src.index()), e.src_port))
+                .collect();
+            inputs.sort();
+            let key = (node.op, node.constant, inputs);
+            match seen.get(&key) {
+                Some(&other) => {
+                    rep[me] = other;
+                    changed = true;
+                }
+                None => {
+                    seen.insert(key, me);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let finals: Vec<usize> = (0..n).map(|i| find(&mut rep, i)).collect();
+    rebuild(dfg, |i| Some(finals[i]))
+}
+
+/// Remove nodes with no path to a side effect (store or sink).
+pub fn eliminate_dead(dfg: &Dfg) -> Optimized {
+    // Reverse reachability from effectful nodes.
+    let mut live: HashSet<usize> = HashSet::new();
+    let mut work: Vec<usize> = dfg
+        .nodes()
+        .filter(|(_, n)| matches!(n.op, Op::Store | Op::Sink))
+        .map(|(id, _)| id.index())
+        .collect();
+    while let Some(x) = work.pop() {
+        if !live.insert(x) {
+            continue;
+        }
+        for pred in dfg.predecessors(NodeId::from_index(x)) {
+            work.push(pred.index());
+        }
+    }
+    rebuild(dfg, |i| live.contains(&i).then_some(i))
+}
+
+/// CSE to fixpoint, then DCE.
+pub fn optimize(dfg: &Dfg) -> Optimized {
+    let cse = common_subexpression(dfg);
+    let dce = eliminate_dead(&cse.dfg);
+    let node_map = (0..dfg.node_count())
+        .map(|i| {
+            cse.node_map[i].and_then(|mid| dce.node_map[mid.index()])
+        })
+        .collect();
+    Optimized {
+        dfg: dce.dfg,
+        node_map,
+    }
+}
+
+/// Rebuild a graph keeping nodes for which `target` returns a
+/// representative index; nodes whose representative is another node are
+/// merged into it. Edges are deduplicated per (src, ports, dst).
+fn rebuild(dfg: &Dfg, mut target: impl FnMut(usize) -> Option<usize>) -> Optimized {
+    let n = dfg.node_count();
+    // Representative old-index per node (None = dropped).
+    let reps: Vec<Option<usize>> = (0..n).map(&mut target).collect();
+
+    let mut new_id: Vec<Option<NodeId>> = vec![None; n];
+    let mut out = Dfg::new();
+    for (id, node) in dfg.nodes() {
+        let i = id.index();
+        if reps[i] != Some(i) {
+            continue; // merged or dropped
+        }
+        let mut b = out.add_node(node.op, node.name.clone());
+        if let Some(c) = node.constant {
+            b = b.constant(c);
+        }
+        if let Some(v) = node.init {
+            b = b.init(v);
+        }
+        new_id[i] = Some(b.id());
+    }
+    // Forward mapping for merged nodes.
+    let node_map: Vec<Option<NodeId>> = (0..n)
+        .map(|i| reps[i].and_then(|r| new_id[r]))
+        .collect();
+
+    let mut seen_edges: HashSet<(NodeId, u8, NodeId, u8)> = HashSet::new();
+    for (_, e) in dfg.edges() {
+        let (Some(src), Some(dst)) = (node_map[e.src.index()], node_map[e.dst.index()]) else {
+            continue;
+        };
+        if seen_edges.insert((src, e.src_port, dst, e.dst_port)) {
+            out.connect_ports(src, e.src_port, dst, e.dst_port);
+        }
+    }
+    debug_assert!(out.validate().is_ok(), "rebuild preserves validity");
+    Optimized { dfg: out, node_map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cse_merges_duplicate_adders() {
+        let mut g = Dfg::new();
+        let src = g.add_node(Op::Source, "s").id();
+        let a1 = g.add_node(Op::Add, "a1").constant(4).id();
+        let a2 = g.add_node(Op::Add, "a2").constant(4).id();
+        let sink1 = g.add_node(Op::Sink, "k1").id();
+        let sink2 = g.add_node(Op::Sink, "k2").id();
+        g.connect(src, a1);
+        g.connect(src, a2);
+        g.connect(a1, sink1);
+        g.connect(a2, sink2);
+        let o = common_subexpression(&g);
+        assert_eq!(o.dfg.node_count(), 4, "a1/a2 merged");
+        assert_eq!(o.remap(a1), o.remap(a2));
+        o.dfg.validate().unwrap();
+    }
+
+    #[test]
+    fn cse_cascades_through_users() {
+        // mul(a1), mul(a2) become identical once a1 == a2.
+        let mut g = Dfg::new();
+        let src = g.add_node(Op::Source, "s").id();
+        let a1 = g.add_node(Op::Add, "a1").constant(4).id();
+        let a2 = g.add_node(Op::Add, "a2").constant(4).id();
+        let m1 = g.add_node(Op::Mul, "m1").constant(3).id();
+        let m2 = g.add_node(Op::Mul, "m2").constant(3).id();
+        let sink = g.add_node(Op::Sink, "k").id();
+        g.connect(src, a1);
+        g.connect(src, a2);
+        g.connect(a1, m1);
+        g.connect(a2, m2);
+        g.connect(m1, sink);
+        let _ = m2; // dangling consumer of a2's value
+        let o = common_subexpression(&g);
+        assert_eq!(o.remap(m1), o.remap(m2), "second-level merge");
+    }
+
+    #[test]
+    fn cse_respects_differences() {
+        let mut g = Dfg::new();
+        let src = g.add_node(Op::Source, "s").id();
+        let a1 = g.add_node(Op::Add, "a1").constant(4).id();
+        let a2 = g.add_node(Op::Add, "a2").constant(5).id(); // different const
+        let x1 = g.add_node(Op::Xor, "x1").constant(4).id(); // different op
+        g.connect(src, a1);
+        g.connect(src, a2);
+        g.connect(src, x1);
+        let o = common_subexpression(&g);
+        assert_eq!(o.dfg.node_count(), 4, "nothing merged");
+    }
+
+    #[test]
+    fn loads_are_never_merged() {
+        let mut g = Dfg::new();
+        let src = g.add_node(Op::Source, "s").id();
+        let l1 = g.add_node(Op::Load, "l1").id();
+        let l2 = g.add_node(Op::Load, "l2").id();
+        g.connect(src, l1);
+        g.connect(src, l2);
+        let o = common_subexpression(&g);
+        assert_eq!(o.dfg.node_count(), 3);
+        assert_ne!(o.remap(l1), o.remap(l2));
+    }
+
+    #[test]
+    fn dce_drops_effect_free_subgraphs() {
+        let mut g = Dfg::new();
+        let src = g.add_node(Op::Source, "s").id();
+        let live = g.add_node(Op::Add, "live").constant(1).id();
+        let st = g.add_node(Op::Store, "st").constant(0).id();
+        let dead1 = g.add_node(Op::Mul, "dead1").constant(2).id();
+        let dead2 = g.add_node(Op::Xor, "dead2").constant(3).id();
+        g.connect(src, live);
+        g.connect_ports(live, 0, st, 1);
+        g.connect(src, dead1);
+        g.connect(dead1, dead2);
+        let o = eliminate_dead(&g);
+        assert_eq!(o.dfg.node_count(), 3);
+        assert!(o.node_map[dead1.index()].is_none());
+        assert!(o.node_map[dead2.index()].is_none());
+        assert!(o.node_map[live.index()].is_some());
+    }
+
+    #[test]
+    fn optimize_composes_and_remaps() {
+        let mut g = Dfg::new();
+        let src = g.add_node(Op::Source, "s").id();
+        let a1 = g.add_node(Op::Add, "a1").constant(4).id();
+        let a2 = g.add_node(Op::Add, "a2").constant(4).id();
+        let st = g.add_node(Op::Store, "st").constant(0).id();
+        let dead = g.add_node(Op::Mul, "dead").constant(9).id();
+        g.connect(src, a1);
+        g.connect(src, a2);
+        g.connect_ports(a1, 0, st, 1);
+        g.connect(a2, dead);
+        let o = optimize(&g);
+        // a2 merges into a1 (kept alive via the store); dead vanishes.
+        assert_eq!(o.dfg.node_count(), 3);
+        assert_eq!(o.remap(a1), o.remap(a2));
+        assert!(o.node_map[dead.index()].is_none());
+    }
+
+    #[test]
+    fn optimizing_parsed_dither_shrinks_the_graph() {
+        use crate::frontend::lower;
+        use crate::parse::parse;
+        let p = parse(
+            "array src @ 16;
+             array dst @ 96;
+             for i in 0..64 carry (err = 0) {
+                 let out = src[i] + err;
+                 if (out > 127) { dst[i] = 255; err = out - 255; }
+                 else { dst[i] = 0; err = out; }
+             }",
+        )
+        .unwrap();
+        let lowered = lower(&p.nest).unwrap();
+        let o = optimize(&lowered.dfg);
+        assert!(
+            o.dfg.node_count() < lowered.dfg.node_count(),
+            "{} -> {}",
+            lowered.dfg.node_count(),
+            o.dfg.node_count()
+        );
+        assert!(o.node_map[lowered.induction_phi.index()].is_some());
+    }
+}

@@ -1,0 +1,520 @@
+//! The three-phase power-mapping pass (paper Section III, Figure 5).
+//!
+//! Selects a DVFS mode (rest / nominal / sprint) for every DFG node:
+//!
+//! 1. **Complexity reduction** — singly-connected chains are grouped
+//!    into single logical power domains ([`Grouping::chains`]),
+//!    shrinking the search from `O(M^N)` toward `O(N·M)`.
+//! 2. **Energy-delay optimization** — groups start at the seed mode
+//!    (all-sprint for a performance-optimized mapping, all-nominal for
+//!    an energy-optimized one) and are greedily rested — most
+//!    power-hungry groups first — keeping each change only when
+//!    `MeasureEnergyDelay` does not regress the best energy-delay
+//!    product seen so far.
+//! 3. **Constraint** — logical nodes folded onto one physical PE must
+//!    share a mode; a small energy-delay search picks the winner.
+//!    Additionally, unused PEs that carry bypass routes are woken at
+//!    the fastest mode of the streams they carry (a power-gated PE
+//!    cannot forward data).
+
+use crate::mapping::MappedKernel;
+use std::collections::HashMap;
+use uecgra_clock::VfMode;
+use uecgra_dfg::analysis::Grouping;
+use uecgra_dfg::{Dfg, NodeId};
+use uecgra_model::{EnergyDelay, EnergyDelayEstimator};
+
+/// Whether the seed configuration maximizes performance (all-sprint,
+/// the paper's "POpt") or energy (all-nominal, "EOpt").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Seed all groups at sprint; trade speed for efficiency only when
+    /// EDP improves.
+    Performance,
+    /// Seed all groups at nominal; resting is the only downward move.
+    Energy,
+}
+
+impl Objective {
+    fn seed(self) -> VfMode {
+        match self {
+            Objective::Performance => VfMode::Sprint,
+            Objective::Energy => VfMode::Nominal,
+        }
+    }
+}
+
+/// The result of power mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerMapping {
+    /// The optimization objective used for seeding.
+    pub objective: Objective,
+    /// Selected mode per DFG node.
+    pub node_modes: Vec<VfMode>,
+    /// The all-nominal (E-CGRA-equivalent) measurement.
+    pub baseline: EnergyDelay,
+    /// The optimized configuration's measurement.
+    pub optimized: EnergyDelay,
+}
+
+impl PowerMapping {
+    /// Speedup over the all-nominal elastic baseline.
+    pub fn speedup(&self) -> f64 {
+        self.optimized.speedup_over(&self.baseline)
+    }
+
+    /// Energy-efficiency gain over the all-nominal elastic baseline.
+    pub fn efficiency(&self) -> f64 {
+        self.optimized.efficiency_over(&self.baseline)
+    }
+}
+
+/// Run phases 1–2 of the power-mapping pass on a logical DFG.
+///
+/// `mem` and `marker` parameterize the `MeasureEnergyDelay` estimator
+/// (the DFG's scratchpad image and iteration-counting node).
+pub fn power_map(
+    dfg: &Dfg,
+    mem: Vec<u32>,
+    marker: NodeId,
+    objective: Objective,
+) -> PowerMapping {
+    power_map_routed(dfg, mem, marker, objective, &[])
+}
+
+/// Routing-aware variant of [`power_map`]: `edge_extra_hops` gives the
+/// routed bypass-hop count of each edge (from
+/// [`MappedKernel::extra_hops`]), so `MeasureEnergyDelay` sees the
+/// physical recurrence lengths instead of the logical ones. This is
+/// the minimal form of the iterative physically-constrained mapping
+/// the paper describes as future work; it lets the pass rest groups
+/// whose slack only exists after routing.
+pub fn power_map_routed(
+    dfg: &Dfg,
+    mem: Vec<u32>,
+    marker: NodeId,
+    objective: Objective,
+    edge_extra_hops: &[u32],
+) -> PowerMapping {
+    let estimator = EnergyDelayEstimator::new(dfg, mem, marker)
+        .with_edge_latency(edge_extra_hops.to_vec());
+    let baseline = estimator.measure(&vec![VfMode::Nominal; dfg.node_count()]);
+
+    // Phase 1: complexity reduction.
+    let grouping = Grouping::chains(dfg);
+    let groups: Vec<usize> = (0..grouping.len())
+        .filter(|&g| {
+            grouping
+                .members(g)
+                .iter()
+                .all(|&n| !dfg.node(n).op.is_pseudo())
+        })
+        .collect();
+
+    // Greedy order: largest potential energy savings first. A group's
+    // potential is the relative energy of its ops (memory ops include
+    // their SRAM subbank access).
+    let params = estimator.params().clone();
+    let mut ordered = groups.clone();
+    let group_power = |g: usize| -> f64 {
+        grouping
+            .members(g)
+            .iter()
+            .map(|&n| {
+                let op = dfg.node(n).op;
+                op.alpha() + if op.is_memory() { params.alpha_sram } else { 0.0 }
+            })
+            .sum()
+    };
+    ordered.sort_by(|&a, &b| {
+        group_power(b)
+            .partial_cmp(&group_power(a))
+            .expect("finite power")
+            .then(a.cmp(&b))
+    });
+
+    // Phase 2: energy-delay optimization.
+    let expand = |group_modes: &HashMap<usize, VfMode>| -> Vec<VfMode> {
+        (0..dfg.node_count())
+            .map(|i| {
+                let node = NodeId::from_index(i);
+                if dfg.node(node).op.is_pseudo() {
+                    VfMode::Nominal
+                } else {
+                    group_modes[&grouping.group_of(node)]
+                }
+            })
+            .collect()
+    };
+
+    let seed = objective.seed();
+    let mut group_modes: HashMap<usize, VfMode> =
+        groups.iter().map(|&g| (g, seed)).collect();
+    let mut best = estimator.measure(&expand(&group_modes));
+
+    for &g in &ordered {
+        let original = group_modes[&g];
+        let mut accepted = false;
+        for candidate in [VfMode::Rest, VfMode::Nominal] {
+            if candidate == original {
+                break; // nominal seed: trying nominal again is a no-op
+            }
+            group_modes.insert(g, candidate);
+            let measured = estimator.measure(&expand(&group_modes));
+            if measured.edp_gain_over(&best) >= 1.0 {
+                best = measured;
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            group_modes.insert(g, original);
+        }
+    }
+
+    PowerMapping {
+        objective,
+        node_modes: expand(&group_modes),
+        baseline,
+        optimized: best,
+    }
+}
+
+/// Phase 3 (`ConstrainPEModes`): reconcile modes of logical nodes that
+/// share a physical PE, picking each PE's mode with a small
+/// energy-delay search. `assignment` maps each fabric node to an
+/// opaque PE key; nodes sharing a key must share a mode.
+pub fn constrain_folded(
+    _dfg: &Dfg,
+    estimator: &EnergyDelayEstimator<'_>,
+    node_modes: &[VfMode],
+    assignment: &HashMap<NodeId, usize>,
+) -> Vec<VfMode> {
+    let mut modes = node_modes.to_vec();
+    // Gather PEs with conflicting node modes.
+    let mut by_pe: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    for (&node, &pe) in assignment {
+        by_pe.entry(pe).or_default().push(node);
+    }
+    let mut pes: Vec<_> = by_pe.into_iter().collect();
+    pes.sort_by_key(|(pe, _)| *pe);
+    for (_, mut nodes) in pes {
+        nodes.sort();
+        let first = modes[nodes[0].index()];
+        if nodes.iter().all(|n| modes[n.index()] == first) {
+            continue;
+        }
+        // Conflict: search all three shared modes.
+        let mut best_mode = first;
+        let mut best_ed: Option<EnergyDelay> = None;
+        for candidate in VfMode::ALL {
+            let mut trial = modes.clone();
+            for n in &nodes {
+                trial[n.index()] = candidate;
+            }
+            let ed = estimator.measure(&trial);
+            let better = match &best_ed {
+                None => true,
+                Some(b) => ed.edp_gain_over(b) > 1.0,
+            };
+            if better {
+                best_ed = Some(ed);
+                best_mode = candidate;
+            }
+        }
+        for n in &nodes {
+            modes[n.index()] = best_mode;
+        }
+    }
+    modes
+}
+
+/// Per-PE clock selections for a mapped kernel: op PEs take their
+/// node's mode; unused PEs that carry bypass routes wake at the fastest
+/// mode among the streams they forward (phase 3's routing constraint);
+/// remaining PEs are power-gated (`None`).
+pub fn pe_clock_grid(
+    dfg: &Dfg,
+    mapped: &MappedKernel,
+    node_modes: &[VfMode],
+) -> Vec<Vec<Option<VfMode>>> {
+    let mut grid: Vec<Vec<Option<VfMode>>> =
+        vec![vec![None; mapped.shape.width]; mapped.shape.height];
+    for (id, node) in dfg.nodes() {
+        if node.op.is_pseudo() {
+            continue;
+        }
+        let (x, y) = mapped.coord_of(id);
+        grid[y][x] = Some(node_modes[id.index()]);
+    }
+    for net in &mapped.routing.nets {
+        // A net's pace is set by its producer and consumers; forwarding
+        // PEs must run at least as fast as the fastest endpoint to
+        // avoid throttling the stream.
+        let mut stream_mode = node_modes[net.src.index()];
+        for &eid in &net.edges {
+            let dst = dfg.edge(eid).dst;
+            stream_mode = stream_mode.max(node_modes[dst.index()]);
+        }
+        let forwarding: std::collections::HashSet<_> = net
+            .parent
+            .values()
+            .copied()
+            .filter(|&c| c != net.root)
+            .collect();
+        for (x, y) in forwarding {
+            grid[y][x] = Some(match grid[y][x] {
+                None => stream_mode,
+                Some(m) => m.max(stream_mode),
+            });
+        }
+    }
+    grid
+}
+
+/// A search-free, slack-directed power mapper (the deterministic
+/// alternative the paper hints at under "more sophisticated
+/// variations"). Works directly from the routed cycle structure:
+///
+/// * **Performance objective** — repeatedly sprint every node of the
+///   currently binding cycles until the binding set is fully sprinted
+///   (the fixed point of "accelerate the critical recurrence"), then
+///   rest everything whose slack under the final initiation interval
+///   tolerates the 3× rest slowdown.
+/// * **Energy objective** — no sprinting; rest every node whose cycles
+///   (if any) stay within the critical II when slowed.
+///
+/// `edge_extra_hops` gives routed bypass hops per edge (use `&[]` for
+/// the logical graph). Pseudo-ops stay nominal.
+///
+/// The cycle analysis cannot see buffer-bound throughput (a rested
+/// branch of a fork-join can stall its sibling through the two-entry
+/// queues), so the pass verifies its candidate against the
+/// sprint-only assignment with one simulation each and keeps the
+/// better energy-delay product — still one to two orders of magnitude
+/// fewer measurements than the search-based pass.
+pub fn power_map_slack(
+    dfg: &Dfg,
+    mem: Vec<u32>,
+    marker: NodeId,
+    edge_extra_hops: &[u32],
+    objective: Objective,
+) -> Vec<VfMode> {
+    use uecgra_dfg::analysis::simple_cycles;
+
+    let hop = |e: uecgra_dfg::EdgeId| -> f64 {
+        1.0 + edge_extra_hops.get(e.index()).copied().unwrap_or(0) as f64
+    };
+    let latency = |m: VfMode| -> f64 {
+        match m {
+            VfMode::Rest => 3.0,
+            VfMode::Nominal => 1.0,
+            VfMode::Sprint => 2.0 / 3.0,
+        }
+    };
+
+    let cycles = simple_cycles(dfg);
+    // Routed ratio of a cycle under a mode assignment: each hop a→b is
+    // paced by the consumer's clock over its routed length.
+    let ratio = |cycle: &uecgra_dfg::analysis::Cycle, modes: &[VfMode]| -> f64 {
+        let nodes = &cycle.nodes;
+        let mut len = 0.0;
+        for (k, &a) in nodes.iter().enumerate() {
+            let b = nodes[(k + 1) % nodes.len()];
+            let hops = dfg
+                .outputs(a)
+                .filter(|(_, e)| e.dst == b)
+                .map(|(id, _)| hop(id))
+                .fold(f64::INFINITY, f64::min);
+            let hops = if hops.is_finite() { hops } else { 1.0 };
+            len += hops * latency(modes[b.index()]);
+        }
+        len / cycle.tokens(dfg).max(1) as f64
+    };
+
+    let mut modes = vec![VfMode::Nominal; dfg.node_count()];
+
+    // Performance: sprint binding cycles to a fixed point.
+    if objective == Objective::Performance && !cycles.is_empty() {
+        for _ in 0..cycles.len() + 1 {
+            let ratios: Vec<f64> = cycles.iter().map(|c| ratio(c, &modes)).collect();
+            let ii = ratios.iter().copied().fold(0.0f64, f64::max);
+            let mut changed = false;
+            for (c, r) in cycles.iter().zip(&ratios) {
+                if *r >= ii - 1e-9 {
+                    for n in &c.nodes {
+                        if modes[n.index()] != VfMode::Sprint {
+                            modes[n.index()] = VfMode::Sprint;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    let ii_final = cycles
+        .iter()
+        .map(|c| ratio(c, &modes))
+        .fold(0.0f64, f64::max);
+
+    // Rest pass: try each non-sprinted node; keep the rest only if no
+    // cycle through it exceeds the final II and the II tolerates a
+    // 3-cycle occupancy.
+    for (id, node) in dfg.nodes() {
+        if node.op.is_pseudo() || modes[id.index()] == VfMode::Sprint {
+            continue;
+        }
+        if ii_final < 3.0 {
+            continue;
+        }
+        modes[id.index()] = VfMode::Rest;
+        let ok = cycles
+            .iter()
+            .filter(|c| c.nodes.contains(&id))
+            .all(|c| ratio(c, &modes) <= ii_final + 1e-9);
+        if !ok {
+            modes[id.index()] = VfMode::Nominal;
+        }
+    }
+
+    // Buffer-boundedness check: compare against the rest-free variant.
+    let no_rest: Vec<VfMode> = modes
+        .iter()
+        .map(|&m| if m == VfMode::Rest { VfMode::Nominal } else { m })
+        .collect();
+    if modes == no_rest {
+        return modes;
+    }
+    let estimator = EnergyDelayEstimator::new(dfg, mem, marker)
+        .with_edge_latency(edge_extra_hops.to_vec())
+        .with_iterations(48);
+    let with_rest = estimator.measure(&modes);
+    let without = estimator.measure(&no_rest);
+    if with_rest.edp_gain_over(&without) >= 1.0 {
+        modes
+    } else {
+        no_rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uecgra_dfg::kernels::{self, synthetic};
+
+    #[test]
+    fn popt_on_fig2_sprints_the_cycle() {
+        let toy = synthetic::fig2_toy();
+        let pm = power_map(
+            &toy.dfg,
+            vec![0; 2048],
+            toy.iter_marker,
+            Objective::Performance,
+        );
+        assert!(pm.speedup() > 1.3, "POpt speedup {}", pm.speedup());
+        for c in toy.cycle {
+            assert_eq!(pm.node_modes[c.index()], VfMode::Sprint, "cycle sprints");
+        }
+        // The feeder chain is non-critical: it must not stay at sprint.
+        for a in toy.a_chain {
+            assert_ne!(pm.node_modes[a.index()], VfMode::Sprint, "feeders rest");
+        }
+    }
+
+    #[test]
+    fn eopt_on_fig2_improves_efficiency_without_slowdown() {
+        let toy = synthetic::fig2_toy();
+        let pm = power_map(&toy.dfg, vec![0; 2048], toy.iter_marker, Objective::Energy);
+        assert!(pm.efficiency() > 1.0, "EOpt efficiency {}", pm.efficiency());
+        assert!(pm.speedup() > 0.9, "EOpt speedup {}", pm.speedup());
+    }
+
+    #[test]
+    fn popt_on_llist_matches_paper_band() {
+        // Paper Table II: llist POpt = 1.49x perf at 1.09x efficiency.
+        let k = kernels::llist::build_with_hops(200);
+        let pm = power_map(
+            &k.dfg,
+            k.mem.clone(),
+            k.iter_marker,
+            Objective::Performance,
+        );
+        assert!(
+            pm.speedup() > 1.35 && pm.speedup() <= 1.55,
+            "llist POpt speedup {}",
+            pm.speedup()
+        );
+    }
+
+    #[test]
+    fn eopt_never_loses_edp_to_baseline_seed() {
+        for k in [
+            kernels::llist::build_with_hops(200),
+            kernels::dither::build_with_pixels(200),
+        ] {
+            let pm = power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Energy);
+            // Phase 2 guarantees EDP no worse than the all-nominal seed.
+            assert!(
+                pm.optimized.edp_gain_over(&pm.baseline) >= 1.0,
+                "{}: EDP regressed",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn power_mapping_is_deterministic() {
+        let k = kernels::dither::build_with_pixels(100);
+        let a = power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance);
+        let b = power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance);
+        assert_eq!(a.node_modes, b.node_modes);
+    }
+
+    #[test]
+    fn constrain_folded_unifies_conflicts() {
+        let toy = synthetic::fig2_toy();
+        let estimator =
+            EnergyDelayEstimator::new(&toy.dfg, vec![0; 2048], toy.iter_marker);
+        let mut modes = vec![VfMode::Nominal; toy.dfg.node_count()];
+        modes[toy.cycle[0].index()] = VfMode::Sprint;
+        // Fold a sprint node and a nominal node onto one PE.
+        let assignment: HashMap<NodeId, usize> =
+            [(toy.cycle[0], 0), (toy.cycle[1], 0)].into_iter().collect();
+        let constrained = constrain_folded(&toy.dfg, &estimator, &modes, &assignment);
+        assert_eq!(
+            constrained[toy.cycle[0].index()],
+            constrained[toy.cycle[1].index()],
+            "folded nodes share one mode"
+        );
+    }
+
+    #[test]
+    fn bypass_pes_wake_at_stream_mode() {
+        use crate::mapping::{ArrayShape, MappedKernel};
+        let k = kernels::fft::build_with_group(16);
+        let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), 9).unwrap();
+        let pm = power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance);
+        let grid = pe_clock_grid(&k.dfg, &mapped, &pm.node_modes);
+        // Every intermediate hop of every route must be awake.
+        for (eid, _) in k.dfg.edges() {
+            let path = &mapped.route(eid).path;
+            if path.len() > 2 {
+                for &(x, y) in &path[1..path.len() - 1] {
+                    assert!(grid[y][x].is_some(), "bypass PE ({x},{y}) gated");
+                }
+            }
+        }
+        // And op PEs carry their node's mode unless bumped by a stream.
+        for (id, n) in k.dfg.nodes() {
+            if n.op.is_pseudo() {
+                continue;
+            }
+            let (x, y) = mapped.coord_of(id);
+            assert!(grid[y][x] >= Some(pm.node_modes[id.index()]));
+        }
+    }
+}

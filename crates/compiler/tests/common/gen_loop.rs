@@ -1,0 +1,151 @@
+const MEM_WORDS: usize = 160;
+/// Loads are masked into [0, 63]. Each store *statement* gets its own
+/// disjoint 8-word window above 64: dataflow imposes no order between
+/// independent memory nodes, so (like the paper's compiler, which only
+/// maps loops whose accesses are provably independent) the generator
+/// never aliases two store statements.
+const LOAD_MASK: u32 = 63;
+const STORE_BASE: u32 = 64;
+const STORE_MASK: u32 = 7;
+
+#[derive(Debug, Clone)]
+struct Ctx {
+    vars: Vec<String>,
+}
+
+fn bin_op(idx: usize) -> Op {
+    [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Eq,
+        Op::Ne,
+        Op::Gt,
+        Op::Lt,
+        Op::Sll,
+        Op::Srl,
+    ][idx % 12]
+}
+
+/// Build a depth-bounded expression from a stream of random choices.
+fn gen_expr(ctx: &Ctx, choices: &[u32], pos: &mut usize, depth: usize) -> Expr {
+    let mut next = || {
+        let c = choices[*pos % choices.len()];
+        *pos += 1;
+        c
+    };
+    let kind = next() % if depth == 0 { 2 } else { 4 };
+    match kind {
+        0 => Expr::Const(next() % 300),
+        1 => {
+            let v = &ctx.vars[(next() as usize) % ctx.vars.len()];
+            Expr::var(v)
+        }
+        2 => {
+            // Bounded load: mem[(e & LOAD_MASK)]
+            let inner = gen_expr(ctx, choices, pos, depth - 1);
+            Expr::load(Expr::bin(Op::And, inner, Expr::Const(LOAD_MASK)))
+        }
+        _ => {
+            let op = bin_op(next() as usize);
+            // Shift amounts are masked by the ISA semantics, safe as-is.
+            let a = gen_expr(ctx, choices, pos, depth - 1);
+            let b = gen_expr(ctx, choices, pos, depth - 1);
+            Expr::bin(op, a, b)
+        }
+    }
+}
+
+fn gen_store(ctx: &Ctx, choices: &[u32], pos: &mut usize, window: u32) -> Stmt {
+    let addr_core = gen_expr(ctx, choices, pos, 1);
+    let value = gen_expr(ctx, choices, pos, 2);
+    Stmt::Store {
+        addr: Expr::bin(
+            Op::Add,
+            Expr::bin(Op::And, addr_core, Expr::Const(STORE_MASK)),
+            Expr::Const(STORE_BASE + window * (STORE_MASK + 1)),
+        ),
+        value,
+    }
+}
+
+/// Build a whole random loop from a choice stream.
+fn gen_loop(trip: u32, carried: bool, choices: Vec<u32>) -> LoopNest {
+    let mut pos = 0usize;
+    let mut ctx = Ctx {
+        vars: vec!["i".to_string()],
+    };
+    if carried {
+        ctx.vars.push("c".to_string());
+    }
+    let next = |pos: &mut usize| {
+        let c = choices[*pos % choices.len()];
+        *pos += 1;
+        c
+    };
+
+    let mut body = Vec::new();
+    let mut window = 0u32;
+    let n_stmts = 2 + (next(&mut pos) as usize) % 4;
+    for s in 0..n_stmts {
+        match next(&mut pos) % 3 {
+            0 => {
+                let name = format!("t{s}");
+                let e = gen_expr(&ctx, &choices, &mut pos, 2);
+                body.push(Stmt::assign(&name, e));
+                ctx.vars.push(name);
+            }
+            1 => {
+                body.push(gen_store(&ctx, &choices, &mut pos, window));
+                window += 1;
+            }
+            _ => {
+                // Both-arm assignment keeps the variable defined on
+                // every path.
+                let name = format!("m{s}");
+                let cond = gen_expr(&ctx, &choices, &mut pos, 1);
+                let then_e = gen_expr(&ctx, &choices, &mut pos, 1);
+                let else_e = gen_expr(&ctx, &choices, &mut pos, 1);
+                let then_st = gen_store(&ctx, &choices, &mut pos, window);
+                window += 1;
+                body.push(Stmt::If {
+                    cond,
+                    then_arm: vec![Stmt::assign(&name, then_e), then_st],
+                    else_arm: vec![Stmt::assign(&name, else_e)],
+                });
+                ctx.vars.push(name);
+            }
+        }
+    }
+    if carried {
+        // Tie the carried update to the induction stream so the lowered
+        // dataflow graph quiesces when the loop exits.
+        let e = gen_expr(&ctx, &choices, &mut pos, 1);
+        body.push(Stmt::assign(
+            "c",
+            Expr::bin(
+                bin_op(next(&mut pos) as usize),
+                Expr::bin(Op::Add, e, Expr::var("i")),
+                Expr::var("c"),
+            ),
+        ));
+    }
+
+    LoopNest {
+        var: "i".into(),
+        trip_count: trip,
+        carried: if carried {
+            vec![Carried {
+                name: "c".into(),
+                init: next(&mut pos),
+            }]
+        } else {
+            vec![]
+        },
+        body,
+    }
+}
+

@@ -1,0 +1,209 @@
+//! `uecgra` — compile and run loops on the ultra-elastic CGRA.
+//!
+//! ```text
+//! uecgra run <source.loop> [--policy e|eopt|popt] [--seed N]
+//!            [--mem-words N] [--vcd <out.vcd>] [--dump-mem A..B]
+//! uecgra compile <source.loop> [--seed N]      # print the mapping
+//! ```
+//!
+//! The source language is the compiler's loop mini-language (see
+//! `uecgra_compiler::parse`): array declarations with base addresses
+//! and one counted loop with carried scalars.
+
+use std::process::ExitCode;
+use uecgra_clock::VfMode;
+use uecgra_compiler::bitstream::{Bitstream, PeRole};
+use uecgra_compiler::frontend::lower;
+use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+use uecgra_compiler::opt::optimize;
+use uecgra_compiler::parse::parse;
+use uecgra_compiler::power_map::{power_map_routed, Objective};
+use uecgra_rtl::fabric::{Fabric, FabricConfig};
+
+struct Args {
+    command: String,
+    source: String,
+    policy: String,
+    seed: u64,
+    mem_words: usize,
+    vcd: Option<String>,
+    dump: Option<(usize, usize)>,
+}
+
+fn usage() -> String {
+    "usage: uecgra <run|compile> <source.loop> [--policy e|eopt|popt] \
+     [--seed N] [--mem-words N] [--vcd out.vcd] [--dump-mem A..B]"
+        .to_string()
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _ = argv.next();
+    let command = argv.next().ok_or_else(usage)?;
+    let source = argv.next().ok_or_else(usage)?;
+    let mut args = Args {
+        command,
+        source,
+        policy: "popt".into(),
+        seed: 7,
+        mem_words: 8192,
+        vcd: None,
+        dump: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--policy" => args.policy = value()?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--mem-words" => {
+                args.mem_words = value()?.parse().map_err(|e| format!("--mem-words: {e}"))?
+            }
+            "--vcd" => args.vcd = Some(value()?),
+            "--dump-mem" => {
+                let v = value()?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| "--dump-mem expects A..B".to_string())?;
+                args.dump = Some((
+                    a.parse().map_err(|e| format!("--dump-mem: {e}"))?,
+                    b.parse().map_err(|e| format!("--dump-mem: {e}"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("uecgra: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args(std::env::args())?;
+    let src = std::fs::read_to_string(&args.source)
+        .map_err(|e| format!("cannot read {}: {e}", args.source))?;
+    let program = parse(&src).map_err(|e| e.to_string())?;
+    let raw = lower(&program.nest).map_err(|e| e.to_string())?;
+
+    // CSE + DCE before mapping.
+    let optimized = optimize(&raw.dfg);
+    let marker_node = optimized
+        .node_map
+        .get(raw.induction_phi.index())
+        .copied()
+        .flatten()
+        .ok_or("the loop has no side effects; nothing to run")?;
+    struct Lowered {
+        dfg: uecgra_dfg::Dfg,
+        induction_phi: uecgra_dfg::NodeId,
+    }
+    let lowered = Lowered {
+        dfg: optimized.dfg,
+        induction_phi: marker_node,
+    };
+    eprintln!(
+        "lowered: {} ops ({} after CSE/DCE), recurrence MII {}",
+        raw.dfg.pe_node_count(),
+        lowered.dfg.pe_node_count(),
+        uecgra_dfg::analysis::recurrence_mii(&lowered.dfg)
+    );
+
+    let mapped = MappedKernel::map(&lowered.dfg, ArrayShape::default(), args.seed)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "mapped: {:.0}% utilization, wirelength {}",
+        mapped.utilization() * 100.0,
+        mapped.wirelength()
+    );
+
+    let mem = vec![0u32; args.mem_words];
+    let extra: Vec<u32> = lowered
+        .dfg
+        .edges()
+        .map(|(id, _)| mapped.extra_hops(id))
+        .collect();
+    let modes = match args.policy.as_str() {
+        "e" => vec![VfMode::Nominal; lowered.dfg.node_count()],
+        "eopt" => {
+            power_map_routed(
+                &lowered.dfg,
+                mem.clone(),
+                lowered.induction_phi,
+                Objective::Energy,
+                &extra,
+            )
+            .node_modes
+        }
+        "popt" => {
+            power_map_routed(
+                &lowered.dfg,
+                mem.clone(),
+                lowered.induction_phi,
+                Objective::Performance,
+                &extra,
+            )
+            .node_modes
+        }
+        other => return Err(format!("unknown policy {other} (use e|eopt|popt)")),
+    };
+
+    let bitstream =
+        Bitstream::assemble(&lowered.dfg, &mapped, &modes).map_err(|e| e.to_string())?;
+    let (compute, route, gated) = bitstream.role_counts();
+    eprintln!("bitstream: {compute} compute, {route} route-only, {gated} gated PEs");
+
+    if args.command == "compile" {
+        for (y, row) in bitstream.grid.iter().enumerate() {
+            for (x, cfg) in row.iter().enumerate() {
+                if let PeRole::Compute(op) = cfg.role {
+                    println!("PE ({x},{y}): {} @ {}", op.mnemonic(), cfg.clk);
+                } else if cfg.role == PeRole::RouteOnly {
+                    println!("PE ({x},{y}): bypass @ {}", cfg.clk);
+                }
+            }
+        }
+        return Ok(());
+    }
+    if args.command != "run" {
+        return Err(usage());
+    }
+
+    let config = FabricConfig {
+        marker: Some(mapped.coord_of(lowered.induction_phi)),
+        record_events: args.vcd.is_some(),
+        ..FabricConfig::default()
+    };
+    let activity = Fabric::new(&bitstream, mem, config).run();
+    println!(
+        "ran {} iterations in {:.0} nominal cycles (II {:.2}), stop: {:?}",
+        activity.iterations(),
+        activity.nominal_cycles(),
+        activity.steady_ii(4).unwrap_or(f64::NAN),
+        activity.stop
+    );
+
+    if let Some(path) = &args.vcd {
+        let vcd = uecgra_rtl::trace::to_vcd(&activity, &bitstream);
+        std::fs::write(path, vcd).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote waveform to {path}");
+    }
+    if let Some((a, b)) = args.dump {
+        for (i, chunk) in activity.mem[a..b.min(activity.mem.len())]
+            .chunks(8)
+            .enumerate()
+        {
+            print!("{:>6}:", a + i * 8);
+            for w in chunk {
+                print!(" {w:>10}");
+            }
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,216 @@
+//! RTL-level energy accounting for fabric runs.
+//!
+//! Mirrors the paper's methodology (Section VI-C): per-PE energies
+//! come from activity counts (fires, bypass forwards, stalled edges)
+//! priced with the gate-level-calibrated tables of `uecgra_vlsi`, each
+//! scaled to the PE's configured voltage; the clock-network energy is
+//! added from the hierarchical-gating clock-power model over the run's
+//! wall-clock time. Power-gated PEs consume nothing.
+
+use crate::pipeline::{CgraRun, Policy};
+use uecgra_clock::VfMode;
+use uecgra_vlsi::area::CgraKind;
+use uecgra_vlsi::clock_power::{clock_power, ClockPowerParams, GatingConfig};
+use uecgra_vlsi::energy::{bypass_energy_pj, op_energy_pj, stall_energy_pj};
+use uecgra_vlsi::ClockPowerBreakdown;
+
+/// Full energy accounting of one run (picojoules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgraEnergy {
+    /// Per-PE logic energy (fires + bypasses + stalls), `[row][col]`.
+    pub pe_logic_pj: Vec<Vec<f64>>,
+    /// Clock power breakdown (mW) under the configured gating.
+    pub clock: ClockPowerBreakdown,
+    /// Clock + idle energy over the whole run.
+    pub clock_pj: f64,
+    /// Run wall-clock (ns).
+    pub runtime_ns: f64,
+    /// Iterations completed.
+    pub iterations: u64,
+}
+
+impl CgraEnergy {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.pe_logic_pj.iter().flatten().sum::<f64>() + self.clock_pj
+    }
+
+    /// Energy per iteration (pJ).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run completed zero iterations.
+    pub fn per_iteration_pj(&self) -> f64 {
+        assert!(self.iterations > 0, "no iterations to amortize over");
+        self.total_pj() / self.iterations as f64
+    }
+
+    /// Average total power over the run (mW).
+    pub fn average_power_mw(&self) -> f64 {
+        self.total_pj() / self.runtime_ns
+    }
+}
+
+/// The CGRA family a policy executes on.
+pub fn kind_of(policy: Policy) -> CgraKind {
+    match policy {
+        Policy::ECgra => CgraKind::Elastic,
+        _ => CgraKind::UltraElastic,
+    }
+}
+
+/// Per-PE clock-selection grid of a run (`None` = power-gated).
+pub fn clock_grid(run: &CgraRun) -> Vec<Vec<Option<VfMode>>> {
+    run.bitstream
+        .grid
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|cfg| {
+                    use uecgra_compiler::bitstream::PeRole;
+                    match cfg.role {
+                        PeRole::Gated => None,
+                        _ => Some(cfg.clk),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Account the energy of a finished run under the given gating.
+#[allow(clippy::needless_range_loop)] // (x, y) grid indexing reads clearer
+pub fn cgra_energy(run: &CgraRun, gating: GatingConfig) -> CgraEnergy {
+    use uecgra_compiler::bitstream::PeRole;
+    let kind = kind_of(run.policy);
+    let act = &run.activity;
+    let h = run.bitstream.grid.len();
+    let w = run.bitstream.grid.first().map_or(0, |r| r.len());
+
+    let mut pe_logic_pj = vec![vec![0.0; w]; h];
+    for y in 0..h {
+        for x in 0..w {
+            let cfg = &run.bitstream.grid[y][x];
+            let mode = cfg.clk;
+            match cfg.role {
+                PeRole::Gated => {}
+                PeRole::RouteOnly => {
+                    pe_logic_pj[y][x] = act.bypass_tokens[y][x] as f64
+                        * bypass_energy_pj(kind, mode)
+                        + (act.input_stalls[y][x] + act.output_stalls[y][x]) as f64
+                            * stall_energy_pj(kind, mode);
+                }
+                PeRole::Compute(op) => {
+                    pe_logic_pj[y][x] = act.fires[y][x] as f64 * op_energy_pj(kind, op, mode)
+                        + act.bypass_tokens[y][x] as f64 * bypass_energy_pj(kind, mode)
+                        + (act.input_stalls[y][x] + act.output_stalls[y][x]) as f64
+                            * stall_energy_pj(kind, mode);
+                }
+            }
+        }
+    }
+
+    let grid = clock_grid(run);
+    let clock = clock_power(kind, &ClockPowerParams::default(), &grid, gating);
+    let runtime_ns = run.runtime_ns();
+    let clock_pj =
+        (clock.total_clock_mw() + clock.idle_logic_mw + clock.leakage_mw) * runtime_ns;
+
+    CgraEnergy {
+        pe_logic_pj,
+        clock,
+        clock_pj,
+        runtime_ns,
+        iterations: act.iterations(),
+    }
+}
+
+/// Analytic global-VF scaling of an E-CGRA run (the blue curves of
+/// Figure 13): running the whole fabric at voltage `v` and frequency
+/// multiplier `f` leaves the cycle count unchanged, stretches time by
+/// `1/f`, and rescales dynamic energy by `(v/VN)²`.
+///
+/// Returns `(relative_performance, relative_efficiency)` versus the
+/// same run at nominal.
+pub fn global_scale_point(run: &CgraRun, gating: GatingConfig, v: f64, f: f64) -> (f64, f64) {
+    let base = cgra_energy(run, gating);
+    let dyn_pj: f64 = base.pe_logic_pj.iter().flatten().sum();
+    let vn = 0.90;
+    let scaled_dyn = dyn_pj * (v / vn) * (v / vn);
+    // Clock power scales like dynamic power (f × V²); over 1/f longer
+    // runtime the energy scales by (V/VN)² only. Idle/static parts
+    // scale with V and stretch with 1/f; fold them together with the
+    // clock term for this first-order curve.
+    let scaled_clock = base.clock_pj * (v / vn) * (v / vn);
+    let perf = f;
+    let eff = base.total_pj() / (scaled_dyn + scaled_clock);
+    (perf, eff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_kernel;
+    use uecgra_dfg::kernels;
+
+    fn dither_run(policy: Policy) -> CgraRun {
+        let k = kernels::dither::build_with_pixels(60);
+        run_kernel(&k, policy, 7).unwrap()
+    }
+
+    #[test]
+    fn energy_is_positive_and_finite() {
+        let run = dither_run(Policy::ECgra);
+        let e = cgra_energy(&run, GatingConfig::FULL);
+        assert!(e.total_pj() > 0.0);
+        assert!(e.per_iteration_pj() > 1.0);
+        assert!(e.average_power_mw() > 0.0 && e.average_power_mw() < 50.0);
+    }
+
+    #[test]
+    fn gating_strictly_reduces_energy() {
+        let run = dither_run(Policy::UePerfOpt);
+        let none = cgra_energy(&run, GatingConfig::NONE).total_pj();
+        let p = cgra_energy(&run, GatingConfig::POWER_ONLY).total_pj();
+        let full = cgra_energy(&run, GatingConfig::FULL).total_pj();
+        assert!(none > p && p > full, "{none} > {p} > {full} violated");
+    }
+
+    #[test]
+    fn eopt_beats_ecgra_efficiency() {
+        // The heart of Table II's EOpt column.
+        let e = cgra_energy(&dither_run(Policy::ECgra), GatingConfig::FULL);
+        let eo = cgra_energy(&dither_run(Policy::UeEnergyOpt), GatingConfig::FULL);
+        let gain = e.per_iteration_pj() / eo.per_iteration_pj();
+        assert!(gain > 1.0, "EOpt efficiency gain {gain}");
+    }
+
+    #[test]
+    fn gated_pes_consume_nothing() {
+        let run = dither_run(Policy::ECgra);
+        let e = cgra_energy(&run, GatingConfig::FULL);
+        use uecgra_compiler::bitstream::PeRole;
+        for (y, row) in run.bitstream.grid.iter().enumerate() {
+            for (x, cfg) in row.iter().enumerate() {
+                if cfg.role == PeRole::Gated {
+                    assert_eq!(e.pe_logic_pj[y][x], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_scaling_trades_axes() {
+        let run = dither_run(Policy::ECgra);
+        // Full-fabric rest: slower but more efficient.
+        let (perf_r, eff_r) =
+            global_scale_point(&run, GatingConfig::FULL, 0.61, 1.0 / 3.0);
+        assert!(perf_r < 0.5 && eff_r > 1.5, "rest: {perf_r}, {eff_r}");
+        // Full-fabric sprint: faster but less efficient.
+        let (perf_s, eff_s) = global_scale_point(&run, GatingConfig::FULL, 1.23, 1.5);
+        assert!(perf_s == 1.5 && eff_s < 0.8, "sprint: {perf_s}, {eff_s}");
+        // Nominal is the identity.
+        let (p1, e1) = global_scale_point(&run, GatingConfig::FULL, 0.90, 1.0);
+        assert!((p1 - 1.0).abs() < 1e-12 && (e1 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,39 @@
+//! UE-CGRA end-to-end pipeline and experiment drivers.
+//!
+//! This crate ties the reproduction together:
+//!
+//! * [`pipeline`] — compile a kernel (place, route, power-map,
+//!   assemble) and execute it on the cycle-level fabric under one of
+//!   three policies: E-CGRA, UE-CGRA EOpt, UE-CGRA POpt;
+//! * [`energy`] — RTL-level energy accounting from fabric activity
+//!   plus the calibrated VLSI tables and the hierarchically-gated
+//!   clock-power model;
+//! * [`experiments`] — the typed computations behind every evaluation
+//!   table and figure (Tables I–III, Figures 13–14), consumed by the
+//!   `uecgra-bench` binaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uecgra_core::pipeline::{run_kernel, Policy};
+//! use uecgra_core::energy::cgra_energy;
+//! use uecgra_dfg::kernels;
+//! use uecgra_vlsi::GatingConfig;
+//!
+//! let kernel = kernels::llist::build_with_hops(40);
+//! let base = run_kernel(&kernel, Policy::ECgra, 7).unwrap();
+//! let fast = run_kernel(&kernel, Policy::UePerfOpt, 7).unwrap();
+//! let speedup = base.ii() / fast.ii();
+//! assert!(speedup > 1.1, "fine-grain DVFS sprints the pointer chase");
+//! let energy = cgra_energy(&fast, GatingConfig::FULL);
+//! assert!(energy.per_iteration_pj() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod experiments;
+pub mod pipeline;
+
+pub use energy::{cgra_energy, CgraEnergy};
+pub use pipeline::{run_kernel, CgraRun, PipelineError, Policy};

@@ -1,0 +1,205 @@
+//! The end-to-end UE-CGRA pipeline: kernel → map → power-map →
+//! bitstream → cycle-level execution.
+//!
+//! [`run_kernel`] is the single entry point the experiments use: it
+//! compiles a kernel for the 8×8 array under one of three policies —
+//! the all-nominal elastic baseline (**E-CGRA**), or the ultra-elastic
+//! fabric with the performance- or energy-optimized power mapping
+//! (**UE-CGRA POpt / EOpt**) — and executes it to completion on the
+//! spatial simulator.
+
+use uecgra_clock::VfMode;
+use uecgra_compiler::bitstream::Bitstream;
+use uecgra_compiler::mapping::{ArrayShape, MapError, MappedKernel};
+use uecgra_compiler::power_map::{power_map_routed, Objective};
+use uecgra_dfg::Kernel;
+use uecgra_rtl::fabric::{Fabric, FabricConfig, FabricStop};
+use uecgra_rtl::Activity;
+
+/// Which machine/policy a kernel is compiled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Elastic CGRA: every PE at nominal voltage and frequency.
+    ECgra,
+    /// UE-CGRA with the energy-optimized power mapping.
+    UeEnergyOpt,
+    /// UE-CGRA with the performance-optimized power mapping.
+    UePerfOpt,
+}
+
+impl Policy {
+    /// All three policies in the paper's comparison order.
+    pub const ALL: [Policy; 3] = [Policy::ECgra, Policy::UeEnergyOpt, Policy::UePerfOpt];
+
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::ECgra => "E-CGRA",
+            Policy::UeEnergyOpt => "UE-CGRA EOpt",
+            Policy::UePerfOpt => "UE-CGRA POpt",
+        }
+    }
+}
+
+/// A completed compile-and-execute run.
+#[derive(Debug, Clone)]
+pub struct CgraRun {
+    /// The policy used.
+    pub policy: Policy,
+    /// The placed-and-routed kernel.
+    pub mapped: MappedKernel,
+    /// The assembled configuration.
+    pub bitstream: Bitstream,
+    /// Per-DFG-node DVFS modes.
+    pub modes: Vec<VfMode>,
+    /// Cycle-level execution results.
+    pub activity: Activity,
+    /// Iterations the kernel was built for.
+    pub iterations: u64,
+}
+
+impl CgraRun {
+    /// Steady-state initiation interval in nominal cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run produced too few iterations to measure.
+    pub fn ii(&self) -> f64 {
+        self.activity
+            .steady_ii(8)
+            .expect("kernel runs enough iterations for a steady state")
+    }
+
+    /// Throughput in iterations per nominal cycle.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.ii()
+    }
+
+    /// Wall-clock compute time in nanoseconds (750 MHz nominal).
+    pub fn runtime_ns(&self) -> f64 {
+        self.activity.nominal_cycles() * (4.0 / 3.0)
+    }
+}
+
+/// Errors from the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Mapping failed.
+    Map(MapError),
+    /// The fabric did not terminate.
+    DidNotTerminate,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Map(e) => write!(f, "mapping failed: {e}"),
+            PipelineError::DidNotTerminate => write!(f, "fabric execution did not terminate"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<MapError> for PipelineError {
+    fn from(e: MapError) -> Self {
+        PipelineError::Map(e)
+    }
+}
+
+/// Compile `kernel` under `policy` and execute it to completion on the
+/// 8×8 fabric.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if mapping fails or execution hits the
+/// tick limit.
+pub fn run_kernel(kernel: &Kernel, policy: Policy, seed: u64) -> Result<CgraRun, PipelineError> {
+    let mapped = MappedKernel::map(&kernel.dfg, ArrayShape::default(), seed)?;
+    // Routing-aware power mapping: feed the routed per-edge hop counts
+    // into MeasureEnergyDelay so rest/sprint decisions see physical
+    // recurrence lengths.
+    let extra: Vec<u32> = kernel
+        .dfg
+        .edges()
+        .map(|(id, _)| mapped.extra_hops(id))
+        .collect();
+
+    let modes = match policy {
+        Policy::ECgra => vec![VfMode::Nominal; kernel.dfg.node_count()],
+        Policy::UeEnergyOpt => power_map_routed(
+            &kernel.dfg,
+            kernel.mem.clone(),
+            kernel.iter_marker,
+            Objective::Energy,
+            &extra,
+        )
+        .node_modes,
+        Policy::UePerfOpt => power_map_routed(
+            &kernel.dfg,
+            kernel.mem.clone(),
+            kernel.iter_marker,
+            Objective::Performance,
+            &extra,
+        )
+        .node_modes,
+    };
+
+    let bitstream = Bitstream::assemble(&kernel.dfg, &mapped, &modes)
+        .expect("routed mappings always assemble");
+    let config = FabricConfig {
+        marker: Some(mapped.coord_of(kernel.iter_marker)),
+        ..FabricConfig::default()
+    };
+    let activity = Fabric::new(&bitstream, kernel.mem.clone(), config).run();
+    if activity.stop != FabricStop::Quiesced {
+        return Err(PipelineError::DidNotTerminate);
+    }
+
+    Ok(CgraRun {
+        policy,
+        mapped,
+        bitstream,
+        modes,
+        activity,
+        iterations: kernel.iters as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uecgra_dfg::kernels;
+
+    #[test]
+    fn pipeline_runs_all_policies_on_llist() {
+        let k = kernels::llist::build_with_hops(60);
+        for policy in Policy::ALL {
+            let run = run_kernel(&k, policy, 7).unwrap();
+            let expect = k.reference_memory();
+            assert_eq!(
+                &run.activity.mem[..expect.len()],
+                &expect[..],
+                "{}: wrong result",
+                policy.label()
+            );
+            assert!(run.ii() > 0.0);
+        }
+    }
+
+    #[test]
+    fn popt_is_fastest_policy() {
+        let k = kernels::dither::build_with_pixels(60);
+        let e = run_kernel(&k, Policy::ECgra, 7).unwrap();
+        let p = run_kernel(&k, Policy::UePerfOpt, 7).unwrap();
+        assert!(p.ii() < e.ii(), "POpt {} vs E {}", p.ii(), e.ii());
+    }
+
+    #[test]
+    fn runtime_uses_750mhz_nominal() {
+        let k = kernels::llist::build_with_hops(30);
+        let run = run_kernel(&k, Policy::ECgra, 7).unwrap();
+        let expect = run.activity.nominal_cycles() * (4.0 / 3.0);
+        assert_eq!(run.runtime_ns(), expect);
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration tests for the `uecgra` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_uecgra")
+}
+
+fn write_source(name: &str, body: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(body.as_bytes()).expect("write");
+    path
+}
+
+const ACCUMULATE: &str = "
+    array src @ 16;
+    array dst @ 128;
+    for i in 0..32 carry (acc = 0) {
+        acc = acc + src[i];
+        dst[i] = acc;
+    }
+";
+
+#[test]
+fn run_command_executes_and_dumps_memory() {
+    let src = write_source("uecgra_cli_run.loop", ACCUMULATE);
+    let out = Command::new(bin())
+        .args(["run", src.to_str().unwrap(), "--policy", "e", "--dump-mem", "128..136"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ran 32 iterations"), "{stdout}");
+    assert!(stdout.contains("128:"), "{stdout}");
+}
+
+#[test]
+fn compile_command_prints_the_mapping() {
+    let src = write_source("uecgra_cli_compile.loop", ACCUMULATE);
+    let out = Command::new(bin())
+        .args(["compile", src.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PE ("), "{stdout}");
+    assert!(stdout.contains("phi"), "{stdout}");
+}
+
+#[test]
+fn vcd_flag_writes_a_waveform() {
+    let src = write_source("uecgra_cli_vcd.loop", ACCUMULATE);
+    let vcd = std::env::temp_dir().join("uecgra_cli_out.vcd");
+    let out = Command::new(bin())
+        .args([
+            "run",
+            src.to_str().unwrap(),
+            "--vcd",
+            vcd.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let wave = std::fs::read_to_string(&vcd).expect("vcd written");
+    assert!(wave.starts_with("$date"));
+    assert!(wave.contains("$enddefinitions"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_nonzero_exit() {
+    let src = write_source("uecgra_cli_bad.loop", "for i in 0..4 { x = ; }");
+    let out = Command::new(bin())
+        .args(["run", src.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let src = write_source("uecgra_cli_flags.loop", ACCUMULATE);
+    let out = Command::new(bin())
+        .args(["run", src.to_str().unwrap(), "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

@@ -1,0 +1,283 @@
+//! Cycle enumeration and critical-cycle (recurrence) analysis.
+//!
+//! Throughput of an elastic CGRA executing a DFG with inter-iteration
+//! dependencies is limited by its *critical cycle*: the cycle `C`
+//! maximizing `delay(C) / tokens(C)`, where `delay` is the sum of node
+//! latencies (in nominal-cycle units, so a rested node contributes more
+//! and a sprinting node less) and `tokens` is the number of initial
+//! tokens resident on the cycle after reset (one per phi-init). This is
+//! the classic maximum-cycle-ratio bound; the paper's Section IV-B/C
+//! discussions ("throughput is determined by the latency of a single
+//! token propagating around the longest DFG cycle") are the
+//! one-token-per-cycle specialization.
+
+use crate::analysis::scc::SccDecomposition;
+use crate::graph::{Dfg, NodeId};
+
+/// A simple cycle in the DFG, as an ordered list of nodes (each node
+/// appears once; the edge from the last back to the first is implied).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// The nodes around the cycle in traversal order.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Cycle {
+    /// Number of nodes (= number of edges) around the cycle.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cycle has no nodes (never produced by enumeration).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of initial tokens resident on the cycle: one per phi node
+    /// with a configured init value.
+    pub fn tokens(&self, graph: &Dfg) -> usize {
+        self.nodes
+            .iter()
+            .filter(|&&n| graph.node(n).init.is_some())
+            .count()
+    }
+
+    /// Sum of per-node latency around the cycle.
+    pub fn delay(&self, latency: impl Fn(NodeId) -> f64) -> f64 {
+        self.nodes.iter().map(|&n| latency(n)).sum()
+    }
+}
+
+/// Enumerate all simple cycles of `graph` (Johnson's algorithm, restricted
+/// to each SCC). DFGs in this domain are tiny (≤ 100 nodes), so full
+/// enumeration is cheap and exact.
+pub fn simple_cycles(graph: &Dfg) -> Vec<Cycle> {
+    let scc = SccDecomposition::compute(graph);
+    let mut result = Vec::new();
+    for comp in scc.cyclic_components(graph) {
+        enumerate_in_component(graph, comp, &mut result);
+    }
+    result
+}
+
+fn enumerate_in_component(graph: &Dfg, comp: &[NodeId], out: &mut Vec<Cycle>) {
+    use std::collections::HashSet;
+    let members: HashSet<NodeId> = comp.iter().copied().collect();
+    // Johnson-style enumeration with a fixed start node per iteration:
+    // only consider nodes >= start to avoid duplicates.
+    for (start_pos, &start) in comp.iter().enumerate() {
+        let allowed: HashSet<NodeId> = comp[start_pos..].iter().copied().collect();
+        let mut path = vec![start];
+        let mut on_path: HashSet<NodeId> = HashSet::from([start]);
+        // Stack of successor iterators (as index positions).
+        let mut iters: Vec<Vec<NodeId>> = vec![graph
+            .successors(start)
+            .filter(|s| members.contains(s) && allowed.contains(s))
+            .collect()];
+        while !path.is_empty() {
+            let frame = iters.last_mut().expect("iter stack in sync with path");
+            if let Some(next) = frame.pop() {
+                if next == start {
+                    out.push(Cycle { nodes: path.clone() });
+                } else if !on_path.contains(&next) {
+                    path.push(next);
+                    on_path.insert(next);
+                    iters.push(
+                        graph
+                            .successors(next)
+                            .filter(|s| members.contains(s) && allowed.contains(s))
+                            .collect(),
+                    );
+                }
+            } else {
+                let done = path.pop().expect("non-empty path");
+                on_path.remove(&done);
+                iters.pop();
+            }
+        }
+    }
+    // Canonicalize: dedupe rotations (enumeration from distinct start nodes
+    // cannot produce the same cycle twice because the start is the minimum
+    // node, but keep a defensive pass for self-loops recorded once).
+    out.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+    out.dedup();
+}
+
+/// Result of the critical-cycle analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalCycle {
+    /// The cycle achieving the maximum delay/token ratio.
+    pub cycle: Cycle,
+    /// `delay(cycle) / tokens(cycle)` in nominal-cycle units: the minimum
+    /// achievable initiation interval (II) of the whole graph.
+    pub ratio: f64,
+}
+
+/// Find the critical cycle under a per-node latency function (nominal
+/// cycles per firing; 1.0 at nominal VF, 3.0 at rest, 2/3 at sprint).
+/// Returns `None` for acyclic graphs (II limited only by resources).
+///
+/// # Panics
+///
+/// Panics if some cycle carries zero initial tokens — such a graph
+/// deadlocks and should be rejected by DFG validation in the compiler.
+pub fn critical_cycle(graph: &Dfg, latency: impl Fn(NodeId) -> f64) -> Option<CriticalCycle> {
+    let mut best: Option<CriticalCycle> = None;
+    for cycle in simple_cycles(graph) {
+        let tokens = cycle.tokens(graph);
+        assert!(
+            tokens > 0,
+            "token-free cycle through {:?} would deadlock",
+            cycle.nodes
+        );
+        let ratio = cycle.delay(&latency) / tokens as f64;
+        let better = best.as_ref().is_none_or(|b| ratio > b.ratio);
+        if better {
+            best = Some(CriticalCycle { cycle, ratio });
+        }
+    }
+    best
+}
+
+/// The minimum initiation interval implied by recurrences (`RecMII`):
+/// the critical-cycle ratio at uniform unit latency, or 0 for acyclic
+/// graphs. This matches the "Ideal" recurrence column of the paper's
+/// Table III when applied to the kernel DFGs.
+pub fn recurrence_mii(graph: &Dfg) -> f64 {
+    critical_cycle(graph, |_| 1.0).map_or(0.0, |c| c.ratio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn ring(n: usize) -> Dfg {
+        let mut g = Dfg::new();
+        let phi = g.add_node(Op::Phi, "phi").init(0).id();
+        let mut prev = phi;
+        for i in 1..n {
+            let node = g.add_node(Op::Add, format!("n{i}")).constant(1).id();
+            g.connect(prev, node);
+            prev = node;
+        }
+        g.connect(prev, phi);
+        g
+    }
+
+    #[test]
+    fn ring_has_single_cycle() {
+        let g = ring(4);
+        let cycles = simple_cycles(&g);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 4);
+        assert_eq!(cycles[0].tokens(&g), 1);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut g = Dfg::new();
+        let a = g.add_node(Op::Source, "a").id();
+        let b = g.add_node(Op::Sink, "b").id();
+        g.connect(a, b);
+        assert!(simple_cycles(&g).is_empty());
+        assert_eq!(recurrence_mii(&g), 0.0);
+        assert!(critical_cycle(&g, |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn recurrence_mii_equals_ring_length() {
+        for n in 2..8 {
+            assert_eq!(recurrence_mii(&ring(n)), n as f64);
+        }
+    }
+
+    #[test]
+    fn self_loop_mii_is_one() {
+        let mut g = Dfg::new();
+        let acc = g.add_node(Op::Phi, "acc").init(0).id();
+        g.connect(acc, acc);
+        assert_eq!(recurrence_mii(&g), 1.0);
+    }
+
+    #[test]
+    fn critical_cycle_respects_latency() {
+        // Two cycles sharing a phi: lengths 2 and 3. Sprinting the longer
+        // one can make the shorter one critical.
+        let mut g = Dfg::new();
+        let phi = g.add_node(Op::Phi, "phi").init(0).id();
+        let a = g.add_node(Op::Add, "a").constant(1).id();
+        let b1 = g.add_node(Op::Add, "b1").constant(1).id();
+        let b2 = g.add_node(Op::Add, "b2").constant(1).id();
+        let phi2 = g.add_node(Op::Phi, "phi2").init(0).id();
+        g.connect(phi, a);
+        g.connect(a, phi);
+        g.connect_ports(phi, 0, phi2, 1);
+        g.connect(phi2, b1);
+        g.connect(b1, b2);
+        g.connect(b2, phi2);
+
+        let uniform = critical_cycle(&g, |_| 1.0).unwrap();
+        assert_eq!(uniform.cycle.len(), 3);
+        assert_eq!(uniform.ratio, 3.0);
+
+        // Sprint the 3-cycle nodes to 2/3 latency: 3 * 2/3 = 2.0 == the
+        // 2-cycle, so the max ratio is now 2.0.
+        let sprinted = critical_cycle(&g, |n| {
+            if [phi2, b1, b2].contains(&n) {
+                2.0 / 3.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert!((sprinted.ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_tokens_halve_the_ratio() {
+        // A 4-ring with two phi-inits has II 2.
+        let mut g = Dfg::new();
+        let p1 = g.add_node(Op::Phi, "p1").init(0).id();
+        let a = g.add_node(Op::Add, "a").constant(1).id();
+        let p2 = g.add_node(Op::Phi, "p2").init(0).id();
+        let b = g.add_node(Op::Add, "b").constant(1).id();
+        g.connect(p1, a);
+        g.connect(a, p2);
+        g.connect(p2, b);
+        g.connect(b, p1);
+        let cc = critical_cycle(&g, |_| 1.0).unwrap();
+        assert_eq!(cc.cycle.tokens(&g), 2);
+        assert_eq!(cc.ratio, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn tokenless_cycle_panics() {
+        let mut g = Dfg::new();
+        let a = g.add_node(Op::Add, "a").constant(1).id();
+        let b = g.add_node(Op::Add, "b").constant(1).id();
+        g.connect(a, b);
+        g.connect(b, a);
+        critical_cycle(&g, |_| 1.0);
+    }
+
+    #[test]
+    fn nested_cycles_all_enumerated() {
+        // phi -> a -> phi (2-cycle) and phi -> a -> b -> phi (3-cycle).
+        let mut g = Dfg::new();
+        let phi = g.add_node(Op::Phi, "phi").init(0).id();
+        let a = g.add_node(Op::Br, "a").id();
+        let b = g.add_node(Op::Add, "b").constant(1).id();
+        g.connect_ports(phi, 0, a, 0);
+        g.connect_ports(phi, 0, a, 1);
+        g.connect_ports(a, 0, phi, 0);
+        g.connect_ports(a, 1, b, 0);
+        g.connect_ports(b, 0, phi, 1);
+        let mut lens: Vec<usize> = simple_cycles(&g).iter().map(Cycle::len).collect();
+        lens.sort();
+        // Node-level cycles: the parallel phi->a edges collapse to one
+        // 2-cycle; the route through b is the 3-cycle.
+        assert_eq!(lens, vec![2, 3]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Graph analyses used by the model, compiler, and simulators.
+
+pub mod cycles;
+pub mod grouping;
+pub mod scc;
+pub mod topo;
+
+pub use cycles::{critical_cycle, recurrence_mii, simple_cycles, CriticalCycle, Cycle};
+pub use grouping::Grouping;
+pub use scc::SccDecomposition;
+pub use topo::TopoOrder;

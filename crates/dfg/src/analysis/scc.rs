@@ -1,0 +1,198 @@
+//! Strongly-connected-component analysis (iterative Tarjan).
+//!
+//! Recurrence (inter-iteration) dependencies appear as non-trivial SCCs in
+//! the dataflow graph; the compiler and the analytical model both need to
+//! know which nodes participate in them.
+
+use crate::graph::{Dfg, NodeId};
+
+/// The strongly connected components of a [`Dfg`], in reverse topological
+/// order of the condensation (callees before callers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    components: Vec<Vec<NodeId>>,
+    component_of: Vec<usize>,
+}
+
+impl SccDecomposition {
+    /// Compute the SCCs of `graph` with an iterative Tarjan traversal.
+    pub fn compute(graph: &Dfg) -> SccDecomposition {
+        let n = graph.node_count();
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<NodeId>> = Vec::new();
+        let mut component_of = vec![usize::MAX; n];
+
+        // Iterative Tarjan: the call stack holds (node, iterator position,
+        // child-to-merge) frames.
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut child)) = call.last_mut() {
+                let succs: Vec<usize> = graph.successors(NodeId(v as u32)).map(|s| s.index()).collect();
+                if *child < succs.len() {
+                    let w = succs[*child];
+                    *child += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    // Post-order: pop SCC root, propagate lowlink upward.
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component_of[w] = components.len();
+                            comp.push(NodeId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        components.push(comp);
+                    }
+                    call.pop();
+                    if let Some(&mut (parent, _)) = call.last_mut() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+
+        SccDecomposition {
+            components,
+            component_of,
+        }
+    }
+
+    /// All components, each a sorted list of member nodes.
+    pub fn components(&self) -> &[Vec<NodeId>] {
+        &self.components
+    }
+
+    /// Index of the component containing `node`.
+    pub fn component_of(&self, node: NodeId) -> usize {
+        self.component_of[node.index()]
+    }
+
+    /// Components with more than one node, or a single node with a
+    /// self-loop — i.e. the recurrence regions of the graph.
+    pub fn cyclic_components<'a>(&'a self, graph: &'a Dfg) -> impl Iterator<Item = &'a Vec<NodeId>> {
+        self.components.iter().filter(move |comp| {
+            comp.len() > 1
+                || graph
+                    .successors(comp[0])
+                    .any(|s| s == comp[0])
+        })
+    }
+
+    /// True if `node` participates in any cycle.
+    pub fn in_cycle(&self, graph: &Dfg, node: NodeId) -> bool {
+        let comp = &self.components[self.component_of(node)];
+        comp.len() > 1 || graph.successors(node).any(|s| s == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let mut g = Dfg::new();
+        let a = g.add_node(Op::Source, "a").id();
+        let b = g.add_node(Op::Add, "b").constant(0).id();
+        let c = g.add_node(Op::Sink, "c").id();
+        g.connect(a, b);
+        g.connect(b, c);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.components().len(), 3);
+        assert_eq!(scc.cyclic_components(&g).count(), 0);
+        assert!(!scc.in_cycle(&g, b));
+    }
+
+    #[test]
+    fn three_node_cycle_is_one_component() {
+        let mut g = Dfg::new();
+        let phi = g.add_node(Op::Phi, "phi").init(0).id();
+        let b = g.add_node(Op::Add, "b").constant(1).id();
+        let c = g.add_node(Op::Mul, "c").constant(1).id();
+        let out = g.add_node(Op::Sink, "out").id();
+        g.connect(phi, b);
+        g.connect(b, c);
+        g.connect(c, phi);
+        g.connect(c, out);
+        let scc = SccDecomposition::compute(&g);
+        let cyclic: Vec<_> = scc.cyclic_components(&g).collect();
+        assert_eq!(cyclic.len(), 1);
+        assert_eq!(cyclic[0].len(), 3);
+        assert!(scc.in_cycle(&g, phi));
+        assert!(!scc.in_cycle(&g, out));
+        assert_eq!(scc.component_of(phi), scc.component_of(b));
+        assert_eq!(scc.component_of(phi), scc.component_of(c));
+        assert_ne!(scc.component_of(phi), scc.component_of(out));
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let mut g = Dfg::new();
+        let phi = g.add_node(Op::Phi, "acc").init(0).id();
+        g.connect(phi, phi);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.cyclic_components(&g).count(), 1);
+        assert!(scc.in_cycle(&g, phi));
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let mut g = Dfg::new();
+        let a1 = g.add_node(Op::Phi, "a1").init(0).id();
+        let a2 = g.add_node(Op::Add, "a2").constant(1).id();
+        g.connect(a1, a2);
+        g.connect(a2, a1);
+        let b1 = g.add_node(Op::Phi, "b1").init(0).id();
+        let b2 = g.add_node(Op::Add, "b2").constant(1).id();
+        let b3 = g.add_node(Op::Add, "b3").constant(1).id();
+        g.connect(b1, b2);
+        g.connect(b2, b3);
+        g.connect(b3, b1);
+        let scc = SccDecomposition::compute(&g);
+        let mut sizes: Vec<usize> = scc.cyclic_components(&g).map(|c| c.len()).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn components_in_reverse_topological_order() {
+        // a -> b: b's component must be emitted before a's.
+        let mut g = Dfg::new();
+        let a = g.add_node(Op::Source, "a").id();
+        let b = g.add_node(Op::Sink, "b").id();
+        g.connect(a, b);
+        let scc = SccDecomposition::compute(&g);
+        let pos_a = scc.component_of(a);
+        let pos_b = scc.component_of(b);
+        assert!(pos_b < pos_a);
+    }
+}

@@ -1,0 +1,192 @@
+//! `dither` — grayscale Floyd–Steinberg dithering (paper Figure 9b,
+//! Figure 14e-h).
+//!
+//! ```c
+//! for (i = 0; i < N; ++i) {
+//!   out = src[i] + err;
+//!   if (out > 127) { pixel = 0xFF; err = out - pixel; }
+//!   else           { pixel = 0;    err = out; }
+//!   dest[i] = pixel;
+//! }
+//! ```
+//!
+//! The inter-iteration dependency is the running error `err`. Its
+//! recurrence is `phi → add → gt → br → sub → phi`, five ops — the
+//! paper's ideal recurrence for `dither`. The induction variable `i`
+//! carries its own four-op recurrence (`phi → add → lt → br`), which is
+//! shorter and therefore non-critical.
+
+use super::Kernel;
+use crate::graph::Dfg;
+use crate::op::Op;
+
+/// Base of the source pixel array.
+pub const SRC_BASE: u32 = 16;
+/// Default pixel count (paper: 1000 iterations of random input data).
+pub const DEFAULT_N: usize = 1000;
+/// Base of the destination pixel array for `n` pixels.
+pub fn dst_base(n: usize) -> u32 {
+    SRC_BASE + n as u32 + 16
+}
+
+/// Build the default 1000-pixel kernel with a deterministic
+/// pseudo-random source image.
+pub fn build() -> Kernel {
+    build_with_pixels(DEFAULT_N)
+}
+
+/// Build a `dither` kernel over `n` pixels.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn build_with_pixels(n: usize) -> Kernel {
+    assert!(n > 0, "dither needs at least one pixel");
+    let dst = dst_base(n);
+
+    let mut g = Dfg::new();
+    // Induction variable with loop-exit branch (control as dataflow).
+    let phi_i = g.add_node(Op::Phi, "i").init(0).id();
+    let add_i = g.add_node(Op::Add, "i+1").constant(1).id();
+    let lt = g.add_node(Op::Lt, "i<N").constant(n as u32).id();
+    let br_i = g.add_node(Op::Br, "br_i").id();
+    g.connect(phi_i, add_i);
+    g.connect(add_i, lt);
+    g.connect_ports(add_i, 0, br_i, 0);
+    g.connect_ports(lt, 0, br_i, 1);
+    g.connect_ports(br_i, 0, phi_i, 1); // continue while i+1 < N
+
+    // Load src[i].
+    let addr_s = g.add_node(Op::Add, "i+src").constant(SRC_BASE).id();
+    let ld = g.add_node(Op::Load, "ld").id();
+    g.connect(phi_i, addr_s);
+    g.connect(addr_s, ld);
+
+    // Error-diffusion recurrence.
+    let phi_err = g.add_node(Op::Phi, "err").init(0).id();
+    let add_out = g.add_node(Op::Add, "out").id();
+    let gt = g.add_node(Op::Gt, "out>127").constant(127).id();
+    let br_e = g.add_node(Op::Br, "br_err").id();
+    let sub = g.add_node(Op::Sub, "out-255").constant(255).id();
+    g.connect(ld, add_out);
+    g.connect(phi_err, add_out);
+    g.connect(add_out, gt);
+    g.connect_ports(add_out, 0, br_e, 0);
+    g.connect_ports(gt, 0, br_e, 1);
+    g.connect_ports(br_e, 0, sub, 0); // out > 127: err = out - 255
+    g.connect_ports(sub, 0, phi_err, 0);
+    g.connect_ports(br_e, 1, phi_err, 1); // else: err = out
+
+    // Pixel value: gt * 255 (0 or 0xFF) stored at dest[i].
+    let pix = g.add_node(Op::Mul, "pix").constant(255).id();
+    g.connect(gt, pix);
+    let addr_d = g.add_node(Op::Add, "i+dst").constant(dst).id();
+    g.connect(phi_i, addr_d);
+    let st = g.add_node(Op::Store, "st").id();
+    g.connect_ports(addr_d, 0, st, 0);
+    g.connect_ports(pix, 0, st, 1);
+    let out = g.add_node(Op::Sink, "out").id();
+    g.connect(st, out);
+
+    g.validate().expect("dither DFG is valid");
+
+    // Deterministic pseudo-random 8-bit source image.
+    let mut mem = vec![0u32; dst as usize + n + 16];
+    let mut state = 0x02F6_E2B1_u32;
+    for i in 0..n {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        mem[SRC_BASE as usize + i] = state >> 24; // 0..=255
+    }
+
+    Kernel {
+        name: "dither",
+        dfg: g,
+        mem,
+        iters: n,
+        iter_marker: phi_err,
+        ideal_recurrence: 5,
+        reference,
+    }
+}
+
+/// Host reference: Floyd–Steinberg 1-D error diffusion with signed
+/// comparison semantics matching the DFG (`out > 127` on a 32-bit
+/// signed value).
+pub fn reference(mem: &[u32], n: usize) -> Vec<u32> {
+    let dst = dst_base(n);
+    let mut m = mem.to_vec();
+    let mut err: u32 = 0;
+    for i in 0..n {
+        let out = m[SRC_BASE as usize + i].wrapping_add(err);
+        let (pixel, new_err) = if (out as i32) > 127 {
+            (255u32, out.wrapping_sub(255))
+        } else {
+            (0u32, out)
+        };
+        m[dst as usize + i] = pixel;
+        err = new_err;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::recurrence_mii;
+
+    #[test]
+    fn recurrence_is_five_ops() {
+        let k = build_with_pixels(8);
+        assert_eq!(recurrence_mii(&k.dfg), 5.0);
+    }
+
+    #[test]
+    fn reference_produces_binary_pixels() {
+        let k = build_with_pixels(64);
+        let m = k.reference_memory();
+        let d = dst_base(64) as usize;
+        for i in 0..64 {
+            assert!(m[d + i] == 0 || m[d + i] == 255);
+        }
+        // A mid-gray random image must dither to a mix of black/white.
+        let whites = (0..64).filter(|&i| m[d + i] == 255).count();
+        assert!(whites > 0 && whites < 64);
+    }
+
+    #[test]
+    fn error_diffusion_preserves_total_intensity() {
+        // Sum of output pixels tracks sum of inputs to within the final
+        // residual error (the defining property of error diffusion).
+        let n = 128;
+        let k = build_with_pixels(n);
+        let m = k.reference_memory();
+        let src_sum: i64 = (0..n).map(|i| m[SRC_BASE as usize + i] as i64).sum();
+        let dst_sum: i64 = (0..n).map(|i| m[dst_base(n) as usize + i] as i64).sum();
+        assert!((src_sum - dst_sum).abs() <= 255);
+    }
+
+    #[test]
+    fn all_black_and_all_white_images() {
+        let k = build_with_pixels(16);
+        let mut dark = k.mem.clone();
+        for i in 0..16 {
+            dark[SRC_BASE as usize + i] = 0;
+        }
+        let m = reference(&dark, 16);
+        assert!((0..16).all(|i| m[dst_base(16) as usize + i] == 0));
+
+        let mut bright = k.mem.clone();
+        for i in 0..16 {
+            bright[SRC_BASE as usize + i] = 255;
+        }
+        let m = reference(&bright, 16);
+        assert!((0..16).all(|i| m[dst_base(16) as usize + i] == 255));
+    }
+
+    #[test]
+    fn default_build_matches_paper_methodology() {
+        let k = build();
+        assert_eq!(k.iters, 1000);
+        assert_eq!(k.ideal_recurrence, 5);
+    }
+}

@@ -1,0 +1,426 @@
+//! Extension kernels beyond the paper's evaluation set.
+//!
+//! Three more irregular inner loops in the same spirit as Figure 9,
+//! used to show the stack generalizes past the five published
+//! kernels:
+//!
+//! * [`crc32`] — table-driven CRC-32: like `llist`, the recurrence
+//!   runs *through a load* (the table lookup depends on the running
+//!   CRC), so nothing but DVFS can speed it up.
+//! * [`spmv_row`] — a sparse dot product with a data-dependent gather
+//!   (`x[col[j]]`): irregular addressing with a short accumulator
+//!   recurrence.
+//! * [`max_scan`] — a running arg-max with data-dependent control
+//!   flow (if-converted to br/phi), writing the running maximum per
+//!   element.
+
+use super::Kernel;
+use crate::graph::Dfg;
+use crate::op::Op;
+
+// --------------------------------------------------------------------
+// crc32
+// --------------------------------------------------------------------
+
+/// Base of the 256-entry CRC table.
+pub const CRC_TABLE_BASE: u32 = 16;
+/// Base of the message bytes.
+pub const CRC_DATA_BASE: u32 = CRC_TABLE_BASE + 256;
+/// Word address receiving the final CRC each iteration (running CRC
+/// trace, one word per byte).
+pub fn crc_out_base(n: usize) -> u32 {
+    CRC_DATA_BASE + n as u32 + 8
+}
+/// Initial CRC value.
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Build a CRC-32 kernel over `n` message bytes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn crc32(n: usize) -> Kernel {
+    assert!(n > 0, "crc needs at least one byte");
+    let out = crc_out_base(n);
+
+    let mut g = Dfg::new();
+    // Index loop.
+    let phi_i = g.add_node(Op::Phi, "i").init(0).id();
+    let add_i = g.add_node(Op::Add, "i+1").constant(1).id();
+    let lt = g.add_node(Op::Lt, "i<N").constant(n as u32).id();
+    let br_i = g.add_node(Op::Br, "br_i").id();
+    g.connect(phi_i, add_i);
+    g.connect(add_i, lt);
+    g.connect_ports(add_i, 0, br_i, 0);
+    g.connect_ports(lt, 0, br_i, 1);
+    g.connect_ports(br_i, 0, phi_i, 1);
+
+    // Message byte.
+    let addr_d = g.add_node(Op::Add, "i+data").constant(CRC_DATA_BASE).id();
+    g.connect(phi_i, addr_d);
+    let ld_d = g.add_node(Op::Load, "ld_d").id();
+    g.connect(addr_d, ld_d);
+
+    // CRC recurrence: crc' = (crc >> 8) ^ T[(crc ^ byte) & 0xFF].
+    let phi_c = g.add_node(Op::Phi, "crc").init(CRC_INIT).id();
+    let x1 = g.add_node(Op::Xor, "crc^d").id();
+    g.connect(phi_c, x1);
+    g.connect(ld_d, x1);
+    let msk = g.add_node(Op::And, "&255").constant(255).id();
+    g.connect(x1, msk);
+    let addr_t = g.add_node(Op::Add, "t+idx").constant(CRC_TABLE_BASE).id();
+    g.connect(msk, addr_t);
+    let ld_t = g.add_node(Op::Load, "ld_t").id();
+    g.connect(addr_t, ld_t);
+    let shr = g.add_node(Op::Srl, "crc>>8").constant(8).id();
+    g.connect(phi_c, shr);
+    let x2 = g.add_node(Op::Xor, "crc'").id();
+    g.connect(shr, x2);
+    g.connect(ld_t, x2);
+    g.connect_ports(x2, 0, phi_c, 1);
+
+    // Trace the running CRC.
+    let addr_o = g.add_node(Op::Add, "i+out").constant(out).id();
+    g.connect(phi_i, addr_o);
+    let st = g.add_node(Op::Store, "st").id();
+    g.connect_ports(addr_o, 0, st, 0);
+    g.connect_ports(x2, 0, st, 1);
+    let sink = g.add_node(Op::Sink, "out").id();
+    g.connect(st, sink);
+
+    g.validate().expect("crc32 DFG is valid");
+
+    let mut mem = vec![0u32; out as usize + n + 16];
+    // Standard CRC-32 (reflected, poly 0xEDB88320) table.
+    for (b, slot) in mem[CRC_TABLE_BASE as usize..][..256].iter_mut().enumerate() {
+        let mut c = b as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *slot = c;
+    }
+    let mut state = 0x5EED_u32;
+    for i in 0..n {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        mem[CRC_DATA_BASE as usize + i] = state >> 24;
+    }
+
+    Kernel {
+        name: "crc32",
+        dfg: g,
+        mem,
+        iters: n,
+        iter_marker: phi_c,
+        // phi -> xor -> and -> add -> load -> xor: six ops through the
+        // table lookup.
+        ideal_recurrence: 6,
+        reference: crc32_reference,
+    }
+}
+
+/// Host reference for [`crc32`].
+pub fn crc32_reference(mem: &[u32], n: usize) -> Vec<u32> {
+    let mut m = mem.to_vec();
+    let out = crc_out_base(n) as usize;
+    let mut crc = CRC_INIT;
+    for i in 0..n {
+        let byte = m[CRC_DATA_BASE as usize + i];
+        let idx = ((crc ^ byte) & 0xFF) as usize;
+        crc = (crc >> 8) ^ m[CRC_TABLE_BASE as usize + idx];
+        m[out + i] = crc;
+    }
+    m
+}
+
+// --------------------------------------------------------------------
+// spmv_row
+// --------------------------------------------------------------------
+
+/// Base of the nonzero values.
+pub const SPMV_VAL_BASE: u32 = 16;
+/// Base of the column indices for `n` nonzeros.
+pub fn spmv_col_base(n: usize) -> u32 {
+    SPMV_VAL_BASE + n as u32 + 8
+}
+/// Base of the dense vector (256 entries).
+pub fn spmv_x_base(n: usize) -> u32 {
+    spmv_col_base(n) + n as u32 + 8
+}
+/// Base of the running dot-product trace.
+pub fn spmv_out_base(n: usize) -> u32 {
+    spmv_x_base(n) + 256 + 8
+}
+
+/// Build a sparse row dot-product kernel over `n` nonzeros:
+/// `acc += val[j] * x[col[j]]`, tracing the running sum.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn spmv_row(n: usize) -> Kernel {
+    assert!(n > 0, "spmv needs at least one nonzero");
+    let colb = spmv_col_base(n);
+    let xb = spmv_x_base(n);
+    let outb = spmv_out_base(n);
+
+    let mut g = Dfg::new();
+    let phi_j = g.add_node(Op::Phi, "j").init(0).id();
+    let add_j = g.add_node(Op::Add, "j+1").constant(1).id();
+    let lt = g.add_node(Op::Lt, "j<N").constant(n as u32).id();
+    let br_j = g.add_node(Op::Br, "br_j").id();
+    g.connect(phi_j, add_j);
+    g.connect(add_j, lt);
+    g.connect_ports(add_j, 0, br_j, 0);
+    g.connect_ports(lt, 0, br_j, 1);
+    g.connect_ports(br_j, 0, phi_j, 1);
+
+    let addr_v = g.add_node(Op::Add, "j+val").constant(SPMV_VAL_BASE).id();
+    g.connect(phi_j, addr_v);
+    let ld_v = g.add_node(Op::Load, "ld_val").id();
+    g.connect(addr_v, ld_v);
+
+    let addr_c = g.add_node(Op::Add, "j+col").constant(colb).id();
+    g.connect(phi_j, addr_c);
+    let ld_c = g.add_node(Op::Load, "ld_col").id();
+    g.connect(addr_c, ld_c);
+
+    // The gather: x[col[j]].
+    let addr_x = g.add_node(Op::Add, "col+x").constant(xb).id();
+    g.connect(ld_c, addr_x);
+    let ld_x = g.add_node(Op::Load, "ld_x").id();
+    g.connect(addr_x, ld_x);
+
+    let prod = g.add_node(Op::Mul, "v*x").id();
+    g.connect(ld_v, prod);
+    g.connect(ld_x, prod);
+
+    let phi_a = g.add_node(Op::Phi, "acc").init(0).id();
+    let acc = g.add_node(Op::Add, "acc'").id();
+    g.connect(phi_a, acc);
+    g.connect(prod, acc);
+    g.connect_ports(acc, 0, phi_a, 1);
+
+    let addr_o = g.add_node(Op::Add, "j+out").constant(outb).id();
+    g.connect(phi_j, addr_o);
+    let st = g.add_node(Op::Store, "st").id();
+    g.connect_ports(addr_o, 0, st, 0);
+    g.connect_ports(acc, 0, st, 1);
+    let sink = g.add_node(Op::Sink, "out").id();
+    g.connect(st, sink);
+
+    g.validate().expect("spmv DFG is valid");
+
+    let mut mem = vec![0u32; outb as usize + n + 16];
+    let mut state = 0xC0FFEE_u32;
+    for i in 0..n {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        mem[SPMV_VAL_BASE as usize + i] = (state >> 20) & 0xFF;
+        mem[colb as usize + i] = (state >> 8) & 0xFF; // 0..255
+    }
+    for i in 0..256 {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        mem[xb as usize + i] = (state >> 16) & 0xFFF;
+    }
+
+    Kernel {
+        name: "spmv",
+        dfg: g,
+        mem,
+        iters: n,
+        iter_marker: phi_a,
+        // The accumulator recurrence is only two ops; the index loop's
+        // four-op exit branch is the binding cycle.
+        ideal_recurrence: 4,
+        reference: spmv_reference,
+    }
+}
+
+/// Host reference for [`spmv_row`].
+pub fn spmv_reference(mem: &[u32], n: usize) -> Vec<u32> {
+    let mut m = mem.to_vec();
+    let colb = spmv_col_base(n) as usize;
+    let xb = spmv_x_base(n) as usize;
+    let outb = spmv_out_base(n) as usize;
+    let mut acc = 0u32;
+    for j in 0..n {
+        let v = m[SPMV_VAL_BASE as usize + j];
+        let c = m[colb + j] as usize;
+        acc = acc.wrapping_add(v.wrapping_mul(m[xb + c]));
+        m[outb + j] = acc;
+    }
+    m
+}
+
+// --------------------------------------------------------------------
+// max_scan
+// --------------------------------------------------------------------
+
+/// Base of the input values.
+pub const SCAN_IN_BASE: u32 = 16;
+/// Base of the running-maximum output for `n` elements.
+pub fn scan_out_base(n: usize) -> u32 {
+    SCAN_IN_BASE + n as u32 + 8
+}
+
+/// Build a running-maximum kernel: `if (v > best) best = v;
+/// out[i] = best` — data-dependent control converted to br/phi.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn max_scan(n: usize) -> Kernel {
+    assert!(n > 0, "scan needs at least one element");
+    let outb = scan_out_base(n);
+
+    let mut g = Dfg::new();
+    let phi_i = g.add_node(Op::Phi, "i").init(0).id();
+    let add_i = g.add_node(Op::Add, "i+1").constant(1).id();
+    let lt = g.add_node(Op::Lt, "i<N").constant(n as u32).id();
+    let br_i = g.add_node(Op::Br, "br_i").id();
+    g.connect(phi_i, add_i);
+    g.connect(add_i, lt);
+    g.connect_ports(add_i, 0, br_i, 0);
+    g.connect_ports(lt, 0, br_i, 1);
+    g.connect_ports(br_i, 0, phi_i, 1);
+
+    let addr_v = g.add_node(Op::Add, "i+in").constant(SCAN_IN_BASE).id();
+    g.connect(phi_i, addr_v);
+    let ld_v = g.add_node(Op::Load, "ld_v").id();
+    g.connect(addr_v, ld_v);
+
+    // best recurrence with steered update: gt picks v or best.
+    let phi_b = g.add_node(Op::Phi, "best").init(0).id();
+    let gt = g.add_node(Op::Gt, "v>best").id();
+    g.connect(ld_v, gt);
+    g.connect(phi_b, gt);
+    // br_v steers v: true side -> new best; br_b steers old best:
+    // false side -> keeps it.
+    let br_v = g.add_node(Op::Br, "br_v").id();
+    g.connect_ports(ld_v, 0, br_v, 0);
+    g.connect_ports(gt, 0, br_v, 1);
+    let br_b = g.add_node(Op::Br, "br_b").id();
+    g.connect_ports(phi_b, 0, br_b, 0);
+    g.connect_ports(gt, 0, br_b, 1);
+    let merge = g.add_node(Op::Phi, "best'").id();
+    g.connect_ports(br_v, 0, merge, 0); // v when v > best
+    g.connect_ports(br_b, 1, merge, 1); // old best otherwise
+    g.connect_ports(merge, 0, phi_b, 1);
+
+    let addr_o = g.add_node(Op::Add, "i+out").constant(outb).id();
+    g.connect(phi_i, addr_o);
+    let st = g.add_node(Op::Store, "st").id();
+    g.connect_ports(addr_o, 0, st, 0);
+    g.connect_ports(merge, 0, st, 1);
+    let sink = g.add_node(Op::Sink, "out").id();
+    g.connect(st, sink);
+
+    g.validate().expect("max_scan DFG is valid");
+
+    let mut mem = vec![0u32; outb as usize + n + 16];
+    let mut state = 0xDA7A_u32;
+    for i in 0..n {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        mem[SCAN_IN_BASE as usize + i] = (state >> 16) & 0x7FFF;
+    }
+
+    Kernel {
+        name: "max_scan",
+        dfg: g,
+        mem,
+        iters: n,
+        iter_marker: phi_b,
+        // best recurrence: phi -> gt -> br -> phi-merge -> phi (the
+        // longest of the steering paths).
+        ideal_recurrence: 4,
+        reference: max_scan_reference,
+    }
+}
+
+/// Host reference for [`max_scan`].
+pub fn max_scan_reference(mem: &[u32], n: usize) -> Vec<u32> {
+    let mut m = mem.to_vec();
+    let outb = scan_out_base(n) as usize;
+    let mut best = 0u32;
+    for i in 0..n {
+        let v = m[SCAN_IN_BASE as usize + i];
+        if (v as i32) > (best as i32) {
+            best = v;
+        }
+        m[outb + i] = best;
+    }
+    m
+}
+
+/// All three extension kernels at a given iteration count.
+pub fn extra_kernels(n: usize) -> Vec<Kernel> {
+    vec![crc32(n), spmv_row(n), max_scan(n)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::recurrence_mii;
+
+    #[test]
+    fn extension_kernels_validate_and_fit() {
+        for k in extra_kernels(32) {
+            k.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(k.dfg.pe_node_count() <= 64, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn recurrences_match_declared_ideals() {
+        for k in extra_kernels(32) {
+            assert_eq!(
+                recurrence_mii(&k.dfg) as usize,
+                k.ideal_recurrence,
+                "{}",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_reference_matches_a_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926 (with final xor-out).
+        let mut k = crc32(9);
+        for (i, b) in b"123456789".iter().enumerate() {
+            k.mem[CRC_DATA_BASE as usize + i] = u32::from(*b);
+        }
+        let m = (k.reference)(&k.mem, 9);
+        let crc = m[crc_out_base(9) as usize + 8] ^ 0xFFFF_FFFF;
+        assert_eq!(crc, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn spmv_gather_indices_stay_in_range() {
+        let k = spmv_row(64);
+        let colb = spmv_col_base(64) as usize;
+        for j in 0..64 {
+            assert!(k.mem[colb + j] < 256);
+        }
+        let m = k.reference_memory();
+        let outb = spmv_out_base(64) as usize;
+        // Running sums are non-decreasing (all inputs nonnegative).
+        for j in 1..64 {
+            assert!(m[outb + j] >= m[outb + j - 1]);
+        }
+    }
+
+    #[test]
+    fn max_scan_output_is_monotone() {
+        let k = max_scan(64);
+        let m = k.reference_memory();
+        let outb = scan_out_base(64) as usize;
+        for i in 1..64 {
+            assert!(m[outb + i] >= m[outb + i - 1]);
+        }
+        // And equals the prefix maximum.
+        let mut best = 0;
+        for i in 0..64 {
+            best = best.max(k.mem[SCAN_IN_BASE as usize + i]);
+            assert_eq!(m[outb + i], best);
+        }
+    }
+}

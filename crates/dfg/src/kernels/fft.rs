@@ -1,0 +1,231 @@
+//! `fft` — radix-2 butterfly inner loop (paper Figure 9d).
+//!
+//! ```c
+//! for (k = 0; k < G; ++k) {
+//!   t_r = Wr*r[b+k] - Wi*i[b+k];
+//!   t_i = Wi*r[b+k] + Wr*i[b+k];
+//!   r[b+k] = r[a+k] - t_r;  r[a+k] += t_r;
+//!   i[b+k] = i[a+k] - t_i;  i[a+k] += t_i;
+//! }
+//! ```
+//!
+//! (with `a = 2jG + k` and `b = 2jG + G + k` folded into base
+//! constants). The only loop-carried dependency is the induction
+//! variable `k`, whose recurrence runs through the loop-exit branch:
+//! `phi → add → lt → br → phi`, four ops — the paper's ideal
+//! recurrence for `fft` (Table III). The body is rich in ILP, which is
+//! why `fft` shows the largest CGRA-over-core speedups.
+
+use super::Kernel;
+use crate::graph::Dfg;
+use crate::op::Op;
+
+/// Twiddle factor real part (fixed-point, arbitrary but nonzero).
+pub const WR: u32 = 3;
+/// Twiddle factor imaginary part.
+pub const WI: u32 = 5;
+/// Base of `r[a..]`.
+pub const RA_BASE: u32 = 16;
+/// Default butterfly group size (paper: 1000 iterations).
+pub const DEFAULT_G: usize = 1000;
+
+/// Base of `r[b..]` for group size `g`.
+pub fn rb_base(g: usize) -> u32 {
+    RA_BASE + g as u32 + 8
+}
+/// Base of `i[a..]`.
+pub fn ia_base(g: usize) -> u32 {
+    rb_base(g) + g as u32 + 8
+}
+/// Base of `i[b..]`.
+pub fn ib_base(g: usize) -> u32 {
+    ia_base(g) + g as u32 + 8
+}
+
+/// Build the default 1000-iteration kernel.
+pub fn build() -> Kernel {
+    build_with_group(DEFAULT_G)
+}
+
+/// Build an `fft` butterfly kernel over group size `g`.
+///
+/// # Panics
+///
+/// Panics if `g == 0`.
+pub fn build_with_group(g_size: usize) -> Kernel {
+    assert!(g_size > 0, "fft needs at least one butterfly");
+    let rb = rb_base(g_size);
+    let ia = ia_base(g_size);
+    let ib = ib_base(g_size);
+
+    let mut g = Dfg::new();
+    // Induction recurrence (the critical cycle, four ops).
+    let phi_k = g.add_node(Op::Phi, "k").init(0).id();
+    let add_k = g.add_node(Op::Add, "k+1").constant(1).id();
+    let lt = g.add_node(Op::Lt, "k<G").constant(g_size as u32).id();
+    let br_k = g.add_node(Op::Br, "br_k").id();
+    g.connect(phi_k, add_k);
+    g.connect(add_k, lt);
+    g.connect_ports(add_k, 0, br_k, 0);
+    g.connect_ports(lt, 0, br_k, 1);
+    g.connect_ports(br_k, 0, phi_k, 1);
+
+    // Addresses (each feeds both its load and its store).
+    let addr_ra = g.add_node(Op::Add, "k+ra").constant(RA_BASE).id();
+    let addr_rb = g.add_node(Op::Add, "k+rb").constant(rb).id();
+    let addr_ia = g.add_node(Op::Add, "k+ia").constant(ia).id();
+    let addr_ib = g.add_node(Op::Add, "k+ib").constant(ib).id();
+    for addr in [addr_ra, addr_rb, addr_ia, addr_ib] {
+        g.connect(phi_k, addr);
+    }
+    let ld_ra = g.add_node(Op::Load, "ld_ra").id();
+    let ld_rb = g.add_node(Op::Load, "ld_rb").id();
+    let ld_ia = g.add_node(Op::Load, "ld_ia").id();
+    let ld_ib = g.add_node(Op::Load, "ld_ib").id();
+    g.connect(addr_ra, ld_ra);
+    g.connect(addr_rb, ld_rb);
+    g.connect(addr_ia, ld_ia);
+    g.connect(addr_ib, ld_ib);
+
+    // t_r = Wr*r[b] - Wi*i[b]; t_i = Wi*r[b] + Wr*i[b].
+    let m_wr_rb = g.add_node(Op::Mul, "Wr*rb").constant(WR).id();
+    let m_wi_ib = g.add_node(Op::Mul, "Wi*ib").constant(WI).id();
+    let m_wi_rb = g.add_node(Op::Mul, "Wi*rb").constant(WI).id();
+    let m_wr_ib = g.add_node(Op::Mul, "Wr*ib").constant(WR).id();
+    g.connect(ld_rb, m_wr_rb);
+    g.connect(ld_ib, m_wi_ib);
+    g.connect(ld_rb, m_wi_rb);
+    g.connect(ld_ib, m_wr_ib);
+    let t_r = g.add_node(Op::Sub, "t_r").id();
+    g.connect(m_wr_rb, t_r);
+    g.connect(m_wi_ib, t_r);
+    let t_i = g.add_node(Op::Add, "t_i").id();
+    g.connect(m_wi_rb, t_i);
+    g.connect(m_wr_ib, t_i);
+
+    // Butterfly updates and stores.
+    let sub_rb = g.add_node(Op::Sub, "ra-tr").id();
+    g.connect(ld_ra, sub_rb);
+    g.connect(t_r, sub_rb);
+    let add_ra = g.add_node(Op::Add, "ra+tr").id();
+    g.connect(ld_ra, add_ra);
+    g.connect(t_r, add_ra);
+    let sub_ib = g.add_node(Op::Sub, "ia-ti").id();
+    g.connect(ld_ia, sub_ib);
+    g.connect(t_i, sub_ib);
+    let add_ia = g.add_node(Op::Add, "ia+ti").id();
+    g.connect(ld_ia, add_ia);
+    g.connect(t_i, add_ia);
+
+    let st_rb = g.add_node(Op::Store, "st_rb").id();
+    g.connect_ports(addr_rb, 0, st_rb, 0);
+    g.connect_ports(sub_rb, 0, st_rb, 1);
+    let st_ra = g.add_node(Op::Store, "st_ra").id();
+    g.connect_ports(addr_ra, 0, st_ra, 0);
+    g.connect_ports(add_ra, 0, st_ra, 1);
+    let st_ib = g.add_node(Op::Store, "st_ib").id();
+    g.connect_ports(addr_ib, 0, st_ib, 0);
+    g.connect_ports(sub_ib, 0, st_ib, 1);
+    let st_ia = g.add_node(Op::Store, "st_ia").id();
+    g.connect_ports(addr_ia, 0, st_ia, 0);
+    g.connect_ports(add_ia, 0, st_ia, 1);
+
+    g.validate().expect("fft DFG is valid");
+
+    // Deterministic pseudo-random fixed-point inputs.
+    let mut mem = vec![0u32; ib as usize + g_size + 16];
+    let mut state = 0xBEEF_u32;
+    for i in 0..g_size {
+        for base in [RA_BASE as usize, rb as usize, ia as usize, ib as usize] {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            mem[base + i] = (state >> 20) & 0xFFF;
+        }
+    }
+
+    Kernel {
+        name: "fft",
+        dfg: g,
+        mem,
+        iters: g_size,
+        iter_marker: phi_k,
+        ideal_recurrence: 4,
+        reference,
+    }
+}
+
+/// Host reference butterfly over the same memory layout.
+pub fn reference(mem: &[u32], g_size: usize) -> Vec<u32> {
+    let rb = rb_base(g_size) as usize;
+    let ia = ia_base(g_size) as usize;
+    let ib = ib_base(g_size) as usize;
+    let ra = RA_BASE as usize;
+    let mut m = mem.to_vec();
+    for k in 0..g_size {
+        let t_r = WR
+            .wrapping_mul(m[rb + k])
+            .wrapping_sub(WI.wrapping_mul(m[ib + k]));
+        let t_i = WI
+            .wrapping_mul(m[rb + k])
+            .wrapping_add(WR.wrapping_mul(m[ib + k]));
+        m[rb + k] = m[ra + k].wrapping_sub(t_r);
+        m[ra + k] = m[ra + k].wrapping_add(t_r);
+        m[ib + k] = m[ia + k].wrapping_sub(t_i);
+        m[ia + k] = m[ia + k].wrapping_add(t_i);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::recurrence_mii;
+
+    #[test]
+    fn recurrence_is_four_ops() {
+        let k = build_with_group(8);
+        assert_eq!(recurrence_mii(&k.dfg), 4.0);
+    }
+
+    #[test]
+    fn body_is_ilp_rich() {
+        // More than 20 PE ops with a recurrence of only 4: lots of ILP.
+        let k = build_with_group(8);
+        assert!(k.dfg.pe_node_count() >= 20);
+    }
+
+    #[test]
+    fn reference_butterfly_identity() {
+        // r[a]' + r[b]' = 2*r[a] (the butterfly sum/difference property).
+        let k = build_with_group(4);
+        let m = k.reference_memory();
+        for i in 0..4 {
+            let ra0 = k.mem[RA_BASE as usize + i];
+            let sum = m[RA_BASE as usize + i].wrapping_add(m[rb_base(4) as usize + i]);
+            assert_eq!(sum, ra0.wrapping_mul(2));
+        }
+    }
+
+    #[test]
+    fn reference_changes_all_four_arrays() {
+        let k = build_with_group(8);
+        let m = k.reference_memory();
+        for base in [
+            RA_BASE as usize,
+            rb_base(8) as usize,
+            ia_base(8) as usize,
+            ib_base(8) as usize,
+        ] {
+            assert!(
+                (0..8).any(|i| m[base + i] != k.mem[base + i]),
+                "array at {base} untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn default_build_matches_paper_methodology() {
+        let k = build();
+        assert_eq!(k.iters, 1000);
+        assert_eq!(k.ideal_recurrence, 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! `llist` — linked-list search (paper Figure 9a, Figure 14a-d).
+//!
+//! ```c
+//! while (hd) {
+//!   if (hd->d == tgt) return hd->d;
+//!   else hd = hd->nxt;
+//! }
+//! return -1;
+//! ```
+//!
+//! The inter-iteration dependency is the head pointer `hd`. The DFG
+//! models the list as a word array where `mem[hd]` is the next pointer
+//! (search terminates when the loaded value equals the target or is
+//! null), so a single load sits on the recurrence, matching the paper's
+//! mapped DFG (one `ld` node). The recurrence cycle is
+//! `phi → ld → eq → br → br → phi`, five ops — the paper's ideal
+//! recurrence length for `llist` (Table III).
+
+use super::Kernel;
+use crate::graph::Dfg;
+use crate::op::Op;
+
+/// Word address where the found value is stored.
+pub const RESULT_ADDR: u32 = 0;
+/// Word address of the list head.
+pub const HEAD: u32 = 1;
+/// Default number of pointer-chase hops (paper: 1000 iterations).
+pub const DEFAULT_HOPS: usize = 1000;
+
+/// Target value for a list of `hops` nodes starting at [`HEAD`].
+pub fn target_for(hops: usize) -> u32 {
+    HEAD + hops as u32
+}
+
+/// Build the default 1000-hop kernel.
+pub fn build() -> Kernel {
+    build_with_hops(DEFAULT_HOPS)
+}
+
+/// Build an `llist` kernel whose chase takes `hops` pointer hops.
+///
+/// # Panics
+///
+/// Panics if `hops == 0`.
+pub fn build_with_hops(hops: usize) -> Kernel {
+    assert!(hops > 0, "the search needs at least one hop");
+    let tgt = target_for(hops);
+
+    let mut g = Dfg::new();
+    // Recurrence: hd flows phi -> ld -> (eq, ne) -> br1 -> br2 -> phi.
+    let phi = g.add_node(Op::Phi, "hd").init(HEAD).id();
+    let ld = g.add_node(Op::Load, "ld").id();
+    let eq = g.add_node(Op::Eq, "eq").constant(tgt).id();
+    let ne = g.add_node(Op::Ne, "ne").constant(0).id();
+    let br1 = g.add_node(Op::Br, "br_found").id();
+    let br2 = g.add_node(Op::Br, "br_alive").id();
+    let st = g.add_node(Op::Store, "st").constant(RESULT_ADDR).id();
+    let out = g.add_node(Op::Sink, "out").id();
+
+    g.connect(phi, ld); // v = mem[hd]
+    g.connect(ld, eq); // found = (v == tgt)
+    g.connect(ld, ne); // alive = (v != 0)
+    g.connect_ports(ld, 0, br1, 0); // data: v
+    g.connect_ports(eq, 0, br1, 1); // cond: found
+    g.connect_ports(br1, 0, st, 1); // found -> store the value
+    g.connect_ports(br1, 1, br2, 0); // not found -> check liveness
+    g.connect_ports(ne, 0, br2, 1); // cond: alive
+    g.connect_ports(br2, 0, phi, 1); // alive -> continue with nxt
+    g.connect(st, out);
+    // br2 false port (dead list) intentionally dangles: the loop ends.
+
+    g.validate().expect("llist DFG is valid");
+
+    // Memory: mem[0] holds the result; the chain is HEAD -> HEAD+1 ->
+    // ... -> HEAD+hops (= tgt). The chase loads mem[hd] `hops` times.
+    let mut mem = vec![0u32; hops + 8];
+    for i in 0..hops {
+        mem[(HEAD as usize) + i] = HEAD + i as u32 + 1;
+    }
+
+    Kernel {
+        name: "llist",
+        dfg: g,
+        mem,
+        iters: hops,
+        iter_marker: phi,
+        ideal_recurrence: 5,
+        reference,
+    }
+}
+
+/// Host reference: chase pointers until the target or null, then store
+/// the found value at [`RESULT_ADDR`].
+pub fn reference(mem: &[u32], hops: usize) -> Vec<u32> {
+    let tgt = target_for(hops);
+    let mut m = mem.to_vec();
+    let mut hd = HEAD;
+    loop {
+        let v = m[hd as usize];
+        if v == tgt {
+            m[RESULT_ADDR as usize] = v;
+            break;
+        }
+        if v == 0 {
+            break;
+        }
+        hd = v;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{recurrence_mii, simple_cycles};
+
+    #[test]
+    fn recurrence_is_five_ops() {
+        let k = build_with_hops(10);
+        assert_eq!(recurrence_mii(&k.dfg), 5.0);
+    }
+
+    #[test]
+    fn has_three_cycles_through_the_branches() {
+        // phi->ld->eq->br1->br2->phi (5, the condition path),
+        // phi->ld->br1->br2->phi (4, the data path), and
+        // phi->ld->ne->br2->phi (4, the liveness path).
+        let k = build_with_hops(10);
+        let mut lens: Vec<usize> = simple_cycles(&k.dfg).iter().map(|c| c.len()).collect();
+        lens.sort();
+        assert_eq!(lens, vec![4, 4, 5]);
+    }
+
+    #[test]
+    fn reference_finds_target() {
+        let k = build_with_hops(5);
+        let final_mem = k.reference_memory();
+        assert_eq!(final_mem[RESULT_ADDR as usize], target_for(5));
+    }
+
+    #[test]
+    fn reference_handles_null_termination() {
+        let k = build_with_hops(5);
+        // Break the chain: a null pointer before the target.
+        let mut mem = k.mem.clone();
+        mem[HEAD as usize + 2] = 0;
+        let final_mem = reference(&mem, 5);
+        assert_eq!(final_mem[RESULT_ADDR as usize], 0, "result untouched");
+    }
+
+    #[test]
+    fn default_build_is_1000_hops() {
+        let k = build();
+        assert_eq!(k.iters, 1000);
+        assert_eq!(k.name, "llist");
+    }
+
+    #[test]
+    fn node_count_is_small() {
+        // CGRA compilers target ~10-op regions (Section VI-A).
+        let k = build();
+        assert!(k.dfg.pe_node_count() <= 10);
+    }
+}

@@ -1,0 +1,127 @@
+//! Benchmark kernels and synthetic microbenchmarks.
+//!
+//! The paper evaluates five irregular inner loops (Figure 9): `llist`
+//! (linked-list search), `dither` (Floyd–Steinberg grayscale dithering),
+//! `susan` (image-smoothing from automotive vision), `fft` (butterfly
+//! inner loop), and `bf` (Blowfish block cipher rounds). Each module
+//! builds the loop's dataflow graph — with control flow converted to
+//! phi/br dataflow exactly as the UE-CGRA compiler would — plus an
+//! initial memory image and a host-side reference implementation used to
+//! check simulator outputs.
+//!
+//! [`synthetic`] holds the microbenchmarks used in the paper's
+//! architecture studies (`cycle-N`, `chain`, Figures 1–3).
+
+pub mod bf;
+pub mod dither;
+pub mod extra;
+pub mod fft;
+pub mod llist;
+pub mod susan;
+pub mod synthetic;
+
+use crate::graph::{Dfg, NodeId};
+
+/// A benchmark kernel: its dataflow graph plus everything needed to run
+/// and check it on the simulators.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name as used in the paper's tables.
+    pub name: &'static str,
+    /// The loop body as a dataflow graph (control converted to dataflow).
+    pub dfg: Dfg,
+    /// Initial scratchpad-memory image (flat, word-addressed).
+    pub mem: Vec<u32>,
+    /// Number of loop iterations the benchmark executes.
+    pub iters: usize,
+    /// Node whose firings count iterations (the loop-carried phi), used
+    /// to measure the initiation interval.
+    pub iter_marker: NodeId,
+    /// Theoretical lower bound on the recurrence length in cycles (the
+    /// "Ideal" column of the paper's Table III).
+    pub ideal_recurrence: usize,
+    /// Host-side reference: returns the final memory image after running
+    /// `iters` iterations on the given initial memory.
+    pub reference: fn(&[u32], usize) -> Vec<u32>,
+}
+
+impl Kernel {
+    /// Run the host reference implementation on this kernel's own memory
+    /// image and iteration count.
+    pub fn reference_memory(&self) -> Vec<u32> {
+        (self.reference)(&self.mem, self.iters)
+    }
+}
+
+/// All five paper kernels, with the default dataset sizes used in the
+/// evaluation (1000 iterations; 32 for `bf`, matching Section VI-C).
+pub fn all_kernels() -> Vec<Kernel> {
+    vec![
+        llist::build(),
+        dither::build(),
+        susan::build(),
+        fft::build(),
+        bf::build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::recurrence_mii;
+
+    #[test]
+    fn all_kernels_validate() {
+        for k in all_kernels() {
+            k.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn all_kernels_have_recurrences() {
+        for k in all_kernels() {
+            assert!(
+                recurrence_mii(&k.dfg) >= 2.0,
+                "{} should have an inter-iteration dependency",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn recurrence_matches_ideal_bound() {
+        for k in all_kernels() {
+            let mii = recurrence_mii(&k.dfg);
+            assert_eq!(
+                mii as usize, k.ideal_recurrence,
+                "{}: DFG recurrence {} != declared ideal {}",
+                k.name, mii, k.ideal_recurrence
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_fit_in_8x8_array() {
+        for k in all_kernels() {
+            assert!(
+                k.dfg.pe_node_count() <= 64,
+                "{} has {} PE ops",
+                k.name,
+                k.dfg.pe_node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn iter_marker_is_a_cycle_node() {
+        use crate::analysis::SccDecomposition;
+        for k in all_kernels() {
+            let scc = SccDecomposition::compute(&k.dfg);
+            assert!(
+                scc.in_cycle(&k.dfg, k.iter_marker),
+                "{}: iteration marker must sit on the recurrence",
+                k.name
+            );
+        }
+    }
+}

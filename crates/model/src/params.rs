@@ -1,0 +1,235 @@
+//! Model parameters (paper Section II-C).
+//!
+//! The analytical model is parameterized by a voltage-frequency fit, a
+//! relative-energy table per operation (the alphas, defined in
+//! [`uecgra_dfg::Op::alpha`]), and leakage factors. The published
+//! design point for TSMC 28 nm:
+//!
+//! * `VN = 0.90 V`, `Vmin = 0.61 V`, `Vmax = 1.23 V`, `fN = 750 MHz`
+//! * leakage fraction `γ = 0.1`, SRAM leakage multiplier `β = 2.0`
+//! * `α_sram = 0.82` per 4 kB subbank (relative to a nominal `mul`)
+//! * voltages quantized so the clock ratio is exactly 2-to-3-to-9,
+//!   i.e. rest = 1/3× and sprint = 1.5× the nominal frequency.
+
+use uecgra_clock::{ClockSet, VfMode};
+
+/// A quadratic voltage→frequency curve `f(V) = k1·V² + k2·V + k3`.
+///
+/// The paper fits this polynomial to SPICE simulations of a 21-stage
+/// FO4-loaded ring oscillator (Section VI-B). Here the curve is fitted
+/// exactly through the three published operating points, so the
+/// quantized multipliers (1/3×, 1×, 1.5×) fall out of the fit.
+///
+/// # Examples
+///
+/// ```
+/// use uecgra_model::params::VfCurve;
+///
+/// let curve = VfCurve::paper_fit();
+/// assert!((curve.frequency_mhz(0.90) - 750.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VfCurve {
+    /// Quadratic coefficient (MHz/V²).
+    pub k1: f64,
+    /// Linear coefficient (MHz/V).
+    pub k2: f64,
+    /// Constant coefficient (MHz).
+    pub k3: f64,
+}
+
+impl VfCurve {
+    /// Fit a quadratic exactly through three `(voltage, MHz)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two points share a voltage (the system is singular).
+    pub fn fit_three_points(points: [(f64, f64); 3]) -> VfCurve {
+        let [(x0, y0), (x1, y1), (x2, y2)] = points;
+        assert!(
+            x0 != x1 && x1 != x2 && x0 != x2,
+            "fit points must have distinct voltages"
+        );
+        // Lagrange interpolation expanded to monomial coefficients.
+        let d0 = (x0 - x1) * (x0 - x2);
+        let d1 = (x1 - x0) * (x1 - x2);
+        let d2 = (x2 - x0) * (x2 - x1);
+        let k1 = y0 / d0 + y1 / d1 + y2 / d2;
+        let k2 = -(y0 * (x1 + x2) / d0 + y1 * (x0 + x2) / d1 + y2 * (x0 + x1) / d2);
+        let k3 = y0 * x1 * x2 / d0 + y1 * x0 * x2 / d1 + y2 * x0 * x1 / d2;
+        VfCurve { k1, k2, k3 }
+    }
+
+    /// The reproduction's calibrated fit: through (0.61 V, 250 MHz),
+    /// (0.90 V, 750 MHz), and (1.23 V, 1125 MHz) — the paper's
+    /// quantized rest/nominal/sprint frequencies at `fN = 750 MHz`.
+    pub fn paper_fit() -> VfCurve {
+        VfCurve::fit_three_points([(0.61, 250.0), (0.90, 750.0), (1.23, 1125.0)])
+    }
+
+    /// Frequency in MHz at the given supply voltage.
+    pub fn frequency_mhz(&self, volts: f64) -> f64 {
+        self.k1 * volts * volts + self.k2 * volts + self.k3
+    }
+}
+
+/// The full analytical-model parameter set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelParams {
+    /// Voltage-frequency fit.
+    pub vf: VfCurve,
+    /// Rest / nominal / sprint supply voltages (V), indexed by
+    /// [`VfMode`].
+    pub voltages: [f64; 3],
+    /// Nominal frequency (MHz).
+    pub f_nominal_mhz: f64,
+    /// Target leakage fraction of an active PE's total power (γ).
+    pub gamma: f64,
+    /// SRAM-bank leakage as a multiple of PE leakage (β).
+    pub beta: f64,
+    /// Relative energy of one 4 kB SRAM subbank access (α_sram).
+    pub alpha_sram: f64,
+    /// The rational clock plan implementing the three modes.
+    pub clocks: ClockSet,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            vf: VfCurve::paper_fit(),
+            voltages: [0.61, 0.90, 1.23],
+            f_nominal_mhz: 750.0,
+            gamma: 0.1,
+            beta: 2.0,
+            alpha_sram: 0.82,
+            clocks: ClockSet::default(),
+        }
+    }
+}
+
+impl ModelParams {
+    /// Supply voltage of a mode (V).
+    pub fn voltage(&self, mode: VfMode) -> f64 {
+        self.voltages[mode as usize]
+    }
+
+    /// Frequency multiplier of a mode relative to nominal, as
+    /// implemented by the quantized clock plan (exactly 1/3, 1, 3/2 for
+    /// the default 2-to-3-to-9).
+    pub fn freq_multiplier(&self, mode: VfMode) -> f64 {
+        self.clocks.frequency_ratio(mode, VfMode::Nominal)
+    }
+
+    /// Dynamic-energy scale factor of a mode: `(V / VN)²`.
+    pub fn dynamic_scale(&self, mode: VfMode) -> f64 {
+        let r = self.voltage(mode) / self.voltage(VfMode::Nominal);
+        r * r
+    }
+
+    /// Static-power scale factor of a mode: `V / VN` (constant leakage
+    /// current, paper Section II-B).
+    pub fn static_scale(&self, mode: VfMode) -> f64 {
+        self.voltage(mode) / self.voltage(VfMode::Nominal)
+    }
+
+    /// PE leakage power at nominal voltage, in normalized power units
+    /// where a `mul` firing every nominal cycle dissipates `α_mul = 1`
+    /// unit. Derived from the paper's γ definition:
+    /// `γ = P_leak / (α_mul · fN · VN² + P_leak)` with the dynamic term
+    /// normalized to 1.
+    pub fn pe_leak_power_nominal(&self) -> f64 {
+        self.gamma / (1.0 - self.gamma)
+    }
+
+    /// SRAM-subbank leakage power at nominal voltage (normalized, = β ×
+    /// PE leakage).
+    pub fn sram_leak_power_nominal(&self) -> f64 {
+        self.beta * self.pe_leak_power_nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_passes_through_anchor_points() {
+        let c = VfCurve::paper_fit();
+        assert!((c.frequency_mhz(0.61) - 250.0).abs() < 1e-9);
+        assert!((c.frequency_mhz(0.90) - 750.0).abs() < 1e-9);
+        assert!((c.frequency_mhz(1.23) - 1125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_is_monotone_in_operating_range() {
+        let c = VfCurve::paper_fit();
+        let mut prev = c.frequency_mhz(0.55);
+        let mut v = 0.56;
+        while v <= 1.30 {
+            let f = c.frequency_mhz(v);
+            assert!(f > prev, "f(V) must increase on [0.55, 1.30], broke at {v}");
+            prev = f;
+            v += 0.01;
+        }
+    }
+
+    #[test]
+    fn quantized_multipliers() {
+        let p = ModelParams::default();
+        assert!((p.freq_multiplier(VfMode::Rest) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.freq_multiplier(VfMode::Nominal), 1.0);
+        assert_eq!(p.freq_multiplier(VfMode::Sprint), 1.5);
+    }
+
+    #[test]
+    fn fitted_frequencies_match_quantized_ratios() {
+        // The quantization step of Section V: the fitted curve at the
+        // adjusted voltages gives exactly the 2:3:9-implied multipliers.
+        let p = ModelParams::default();
+        for mode in VfMode::ALL {
+            let f = p.vf.frequency_mhz(p.voltage(mode));
+            let expect = p.f_nominal_mhz * p.freq_multiplier(mode);
+            assert!(
+                (f - expect).abs() < 1e-6,
+                "{mode}: fit {f} vs quantized {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_scales() {
+        let p = ModelParams::default();
+        assert_eq!(p.dynamic_scale(VfMode::Nominal), 1.0);
+        // (1.23/0.90)² ≈ 1.868: sprinting costs ~87% more energy/op.
+        assert!((p.dynamic_scale(VfMode::Sprint) - 1.868).abs() < 1e-3);
+        // (0.61/0.90)² ≈ 0.459: resting halves energy/op.
+        assert!((p.dynamic_scale(VfMode::Rest) - 0.459).abs() < 1e-3);
+        assert!(p.static_scale(VfMode::Rest) < 1.0);
+    }
+
+    #[test]
+    fn leakage_budget_matches_gamma() {
+        let p = ModelParams::default();
+        let leak = p.pe_leak_power_nominal();
+        // P_leak / (P_dyn + P_leak) with P_dyn = 1 must equal gamma.
+        let frac = leak / (1.0 + leak);
+        assert!((frac - p.gamma).abs() < 1e-12);
+        assert_eq!(p.sram_leak_power_nominal(), 2.0 * leak);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct voltages")]
+    fn degenerate_fit_panics() {
+        VfCurve::fit_three_points([(0.9, 1.0), (0.9, 2.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn rest_gives_large_power_reduction() {
+        // Paper Section IV-D: resting to 0.61 V yields roughly 3× slower
+        // frequency and ~7× dynamic power reduction (f × V² ≈ 6.5×).
+        let p = ModelParams::default();
+        let power_ratio =
+            p.freq_multiplier(VfMode::Rest) * p.dynamic_scale(VfMode::Rest);
+        assert!(power_ratio < 1.0 / 6.0, "got {power_ratio}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests over the analytical discrete-event simulator.
+
+use proptest::prelude::*;
+use uecgra_clock::VfMode;
+use uecgra_dfg::kernels::synthetic;
+use uecgra_model::{DfgSimulator, SimConfig, StopReason};
+
+fn arb_mode() -> impl Strategy<Value = VfMode> {
+    prop_oneof![
+        Just(VfMode::Rest),
+        Just(VfMode::Nominal),
+        Just(VfMode::Sprint)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A pipeline's throughput equals its slowest stage's rate,
+    /// independent of where the slow stage sits.
+    #[test]
+    fn chain_throughput_is_the_slowest_stage(
+        n in 1usize..7,
+        mode_pool in proptest::collection::vec(arb_mode(), 10),
+    ) {
+        let s = synthetic::chain(n);
+        let mut modes = vec![VfMode::Nominal; s.dfg.node_count()];
+        // Pseudo-ops (source/sink) stay nominal: they model the world.
+        let mut slowest = VfMode::Sprint;
+        for (i, (id, node)) in s.dfg.nodes().enumerate() {
+            if node.op.is_pseudo() {
+                continue;
+            }
+            let m = mode_pool[i % mode_pool.len()];
+            modes[id.index()] = m;
+            slowest = slowest.min(m);
+        }
+        // The nominal source caps throughput at 1 token/cycle.
+        let expect_ii = match slowest {
+            VfMode::Rest => 3.0,
+            _ => 1.0,
+        };
+        let config = SimConfig {
+            marker: Some(s.iter_marker),
+            max_marker_fires: Some(150),
+            ..SimConfig::default()
+        };
+        let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
+        let ii = r.steady_ii(30).expect("steady state");
+        // Rational-clock edges are not aligned to nominal cycles, so
+        // the endpoint-based II measurement carries a sub-cycle wobble.
+        prop_assert!(
+            (ii - expect_ii).abs() / expect_ii < 0.02,
+            "n={n} slowest={slowest:?}: II {ii} vs {expect_ii}"
+        );
+    }
+
+    /// A uniform-mode ring's II is its length divided by the mode's
+    /// frequency multiplier.
+    #[test]
+    fn uniform_ring_ii_scales_with_mode(
+        n in 2usize..8,
+        mode in arb_mode(),
+    ) {
+        let s = synthetic::cycle_n(n);
+        let mut modes = vec![VfMode::Nominal; s.dfg.node_count()];
+        for c in &s.cycle_nodes {
+            modes[c.index()] = mode;
+        }
+        let mult = match mode {
+            VfMode::Rest => 1.0 / 3.0,
+            VfMode::Nominal => 1.0,
+            VfMode::Sprint => 1.5,
+        };
+        let config = SimConfig {
+            marker: Some(s.iter_marker),
+            max_marker_fires: Some(120),
+            ..SimConfig::default()
+        };
+        let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
+        let ii = r.steady_ii(20).expect("steady state");
+        prop_assert!(
+            (ii - n as f64 / mult).abs() < 1e-9,
+            "cycle-{n}@{mode:?}: II {ii}"
+        );
+    }
+
+    /// Firing conservation on a chain: every stage fires exactly once
+    /// per source token once the pipeline drains.
+    #[test]
+    fn chain_conserves_tokens(n in 1usize..7, limit in 1u64..50) {
+        let s = synthetic::chain(n);
+        let config = SimConfig {
+            source_limit: Some(limit),
+            ..SimConfig::default()
+        };
+        let modes = vec![VfMode::Nominal; s.dfg.node_count()];
+        let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
+        prop_assert_eq!(r.stop, StopReason::Quiesced);
+        for (id, node) in s.dfg.nodes() {
+            if node.op.is_pseudo() {
+                continue;
+            }
+            prop_assert_eq!(r.fires[id.index()], limit, "{}", node.name);
+        }
+    }
+
+    /// Hop latency scales a ring's II exactly linearly.
+    #[test]
+    fn hop_latency_scales_ring_ii(n in 2usize..6, hop in 1u32..4) {
+        let s = synthetic::cycle_n(n);
+        let config = SimConfig {
+            marker: Some(s.iter_marker),
+            max_marker_fires: Some(80),
+            hop_latency: hop,
+            ..SimConfig::default()
+        };
+        let modes = vec![VfMode::Nominal; s.dfg.node_count()];
+        let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
+        let ii = r.steady_ii(15).expect("steady state");
+        prop_assert!(((ii) - (n as f64 * hop as f64)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Configuration and data-load cost models.
+//!
+//! The UE-CGRA is configured by forwarding configuration messages
+//! systolically through the array from top to bottom over the existing
+//! data network (paper Section IV-A), after the host writes the CSRs
+//! and the DMA unit fetches the bitstream. Data is then streamed into
+//! the SRAM banks at the memory-bus bandwidth (128 bits/cycle,
+//! Section VI-D). This module prices both phases in nominal cycles;
+//! the numbers feed the system-level model of Table III.
+
+use uecgra_compiler::bitstream::Bitstream;
+
+/// Memory-system bandwidth in 32-bit words per cycle (128 bits/cycle).
+pub const DMA_WORDS_PER_CYCLE: u64 = 4;
+
+/// Extra cycles to retarget the multi-rail supply switches
+/// (Section VII-D: 3 voltage-scaling cycles).
+pub const VOLTAGE_SCALE_CYCLES: u64 = 3;
+
+/// Extra cycles to realign the clock dividers/switchers after a clock
+/// reset (2 clock-scaling cycles).
+pub const CLOCK_SCALE_CYCLES: u64 = 2;
+
+/// Cycles to stream the configuration into the array.
+///
+/// Words flow down each column concurrently, one hop per cycle: the
+/// pipeline fills in `height` cycles and then drains one word per PE
+/// per column. Each PE consumes two 32-bit messages (our 36-bit
+/// config word) plus one message per constant/init value.
+pub fn config_cycles(bitstream: &Bitstream) -> u64 {
+    let height = bitstream.grid.len() as u64;
+    let words_per_column: u64 = bitstream
+        .grid
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|cfg| {
+                    2 + cfg.constant.is_some() as u64 + cfg.init.is_some() as u64
+                })
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+        * height;
+    height + words_per_column
+}
+
+/// Total reconfiguration cycles for a UE-CGRA (configuration plus DVFS
+/// setup). An E-CGRA omits the voltage/clock scaling.
+pub fn reconfiguration_cycles(bitstream: &Bitstream, ultra_elastic: bool) -> u64 {
+    let base = config_cycles(bitstream);
+    if ultra_elastic {
+        base + VOLTAGE_SCALE_CYCLES + CLOCK_SCALE_CYCLES
+    } else {
+        base
+    }
+}
+
+/// Cycles to DMA `words` of kernel data into the SRAM banks.
+pub fn data_load_cycles(words: usize) -> u64 {
+    (words as u64).div_ceil(DMA_WORDS_PER_CYCLE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uecgra_clock::VfMode;
+    use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+    use uecgra_dfg::kernels;
+
+    fn dither_bitstream() -> Bitstream {
+        let k = kernels::dither::build_with_pixels(16);
+        let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), 1).unwrap();
+        let modes = vec![VfMode::Nominal; k.dfg.node_count()];
+        Bitstream::assemble(&k.dfg, &mapped, &modes).unwrap()
+    }
+
+    #[test]
+    fn config_cost_scales_with_array_depth() {
+        let bs = dither_bitstream();
+        let c = config_cycles(&bs);
+        // 8-deep array, ≥2 words per PE: at least 8 + 16 cycles.
+        assert!(c >= 24, "config cycles {c}");
+        // And bounded by the worst case of 4 words per PE.
+        assert!(c <= 8 + 4 * 8);
+    }
+
+    #[test]
+    fn ue_reconfiguration_adds_dvfs_setup() {
+        let bs = dither_bitstream();
+        let e = reconfiguration_cycles(&bs, false);
+        let ue = reconfiguration_cycles(&bs, true);
+        assert_eq!(ue - e, VOLTAGE_SCALE_CYCLES + CLOCK_SCALE_CYCLES);
+    }
+
+    #[test]
+    fn dma_bandwidth_is_128_bits() {
+        assert_eq!(data_load_cycles(0), 0);
+        assert_eq!(data_load_cycles(1), 1);
+        assert_eq!(data_load_cycles(4), 1);
+        assert_eq!(data_load_cycles(5), 2);
+        assert_eq!(data_load_cycles(2000), 500);
+    }
+}

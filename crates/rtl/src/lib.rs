@@ -1,0 +1,53 @@
+//! Cycle-level UE-CGRA architectural simulator.
+//!
+//! This crate is the reproduction's stand-in for the paper's RTL
+//! simulation (PyMTL3-generated Verilog under VCS): a deterministic
+//! spatial simulator that executes compiled bitstreams on a grid of
+//! elastic PEs.
+//!
+//! * [`fabric`] — the array itself: per-PE rational clocks, four
+//!   bisynchronous input queues per PE, operand/bypass muxing, phi and
+//!   br control, multi-purpose registers, and perimeter SRAM access.
+//!   All-nominal clocks model an **E-CGRA**; mixed clocks model the
+//!   **UE-CGRA**.
+//! * [`queue`] — the two-entry bisynchronous queues whose visibility
+//!   rule embodies the elasticity-aware suppressor.
+//! * [`scratchpad`] — the perimeter SRAM banks.
+//! * [`inelastic`] — a statically-scheduled IE-CGRA reference model.
+//! * [`config_load`] — configuration and DMA cost models.
+//!
+//! # End-to-end example
+//!
+//! ```
+//! use uecgra_clock::VfMode;
+//! use uecgra_compiler::bitstream::Bitstream;
+//! use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+//! use uecgra_dfg::kernels;
+//! use uecgra_rtl::fabric::{Fabric, FabricConfig};
+//!
+//! let k = kernels::llist::build_with_hops(20);
+//! let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), 1).unwrap();
+//! let modes = vec![VfMode::Nominal; k.dfg.node_count()];
+//! let bs = Bitstream::assemble(&k.dfg, &mapped, &modes).unwrap();
+//! let config = FabricConfig {
+//!     marker: Some(mapped.coord_of(k.iter_marker)),
+//!     ..FabricConfig::default()
+//! };
+//! let activity = Fabric::new(&bs, k.mem.clone(), config).run();
+//! let expect = k.reference_memory();
+//! assert_eq!(&activity.mem[..expect.len()], &expect[..]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config_load;
+pub mod fabric;
+pub mod inelastic;
+pub mod queue;
+pub mod scratchpad;
+pub mod trace;
+
+pub use fabric::{Activity, Fabric, FabricConfig, FabricStop, SuppressorKind};
+pub use inelastic::InelasticSchedule;
+pub use trace::to_vcd;
+pub use scratchpad::Scratchpad;

@@ -1,0 +1,218 @@
+//! Bisynchronous input queues.
+//!
+//! Every PE input is a two-entry elastic queue that correctly bridges
+//! clock domains with known rational phase relationships (paper
+//! Sections IV-A and V). Writes are source-synchronous (the producer
+//! pushes on its own rising edge and the write time is recorded with
+//! the data); reads happen on the consumer's rising edges and are
+//! gated by the elasticity-aware suppressor invariant: a token is
+//! readable once it has aged at least one receiver clock period, which
+//! is exactly "safe edge, or unsafe edge with data enqueued longer
+//! than one local cycle" (see `uecgra_clock::suppressor`).
+
+use std::collections::VecDeque;
+
+/// A timestamped token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Payload.
+    pub value: u32,
+    /// PLL tick at which the producer enqueued it.
+    pub written: u64,
+}
+
+/// A two-entry (configurable) bisynchronous queue.
+///
+/// # Examples
+///
+/// ```
+/// use uecgra_rtl::queue::BisyncQueue;
+///
+/// let mut q = BisyncQueue::new(2);
+/// q.push(7, 0);
+/// // A nominal consumer (period 3) cannot read a fresh token...
+/// assert_eq!(q.front_visible(2, 3), None);
+/// // ...but can once it has aged one receiver period.
+/// assert_eq!(q.front_visible(3, 3), Some(7));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisyncQueue {
+    slots: VecDeque<Token>,
+    capacity: usize,
+    /// Eager-fork bookkeeping: which local users (compute, bypass 0,
+    /// bypass 1) have already consumed the front token. The token pops
+    /// once every configured user has taken it, so consumers proceed
+    /// independently — the elastic "eager fork" that prevents circular
+    /// waits between a PE's operand and its bypass of the same net.
+    front_taken: [bool; 3],
+}
+
+impl BisyncQueue {
+    /// Create a queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BisyncQueue {
+        assert!(capacity > 0, "queues need at least one entry");
+        BisyncQueue {
+            slots: VecDeque::with_capacity(capacity),
+            capacity,
+            front_taken: [false; 3],
+        }
+    }
+
+    /// Occupancy.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True when a producer may push this cycle (registered ready:
+    /// capacity check against the state at the start of the tick).
+    pub fn can_push(&self) -> bool {
+        self.slots.len() < self.capacity
+    }
+
+    /// Enqueue a token written at tick `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow — producers must check [`BisyncQueue::can_push`].
+    pub fn push(&mut self, value: u32, t: u64) {
+        assert!(self.can_push(), "queue overflow");
+        self.slots.push_back(Token { value, written: t });
+    }
+
+    /// The front token's value if it is visible to a consumer whose
+    /// clock period is `receiver_period`, at tick `t`.
+    pub fn front_visible(&self, t: u64, receiver_period: u64) -> Option<u32> {
+        self.slots
+            .front()
+            .filter(|tok| t >= tok.written + receiver_period)
+            .map(|tok| tok.value)
+    }
+
+    /// Like [`BisyncQueue::front_visible`], but `None` once `user` has
+    /// already taken the front token (eager-fork semantics).
+    pub fn front_visible_for(&self, t: u64, receiver_period: u64, user: usize) -> Option<u32> {
+        if self.front_taken[user] {
+            return None;
+        }
+        self.front_visible(t, receiver_period)
+    }
+
+    /// Record that `user` consumed the front token, then pop it once
+    /// every user in `required` has taken it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty or on double-take.
+    pub fn take(&mut self, user: usize, required: [bool; 3]) {
+        assert!(!self.slots.is_empty(), "take from empty queue");
+        assert!(!self.front_taken[user], "double take by user {user}");
+        self.front_taken[user] = true;
+        let done = (0..3).all(|u| !required[u] || self.front_taken[u]);
+        if done {
+            self.slots.pop_front();
+            self.front_taken = [false; 3];
+        }
+    }
+
+    /// Remove and return the front token (single-user queues).
+    ///
+    /// # Panics
+    ///
+    /// Panics when empty.
+    pub fn pop(&mut self) -> Token {
+        self.front_taken = [false; 3];
+        self.slots.pop_front().expect("pop from empty queue")
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BisyncQueue::new(2);
+        q.push(1, 0);
+        q.push(2, 0);
+        assert_eq!(q.pop().value, 1);
+        assert_eq!(q.pop().value, 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = BisyncQueue::new(2);
+        q.push(1, 0);
+        q.push(2, 0);
+        assert!(!q.can_push());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut q = BisyncQueue::new(1);
+        q.push(1, 0);
+        q.push(2, 0);
+    }
+
+    #[test]
+    fn visibility_requires_one_receiver_period() {
+        let mut q = BisyncQueue::new(2);
+        q.push(42, 6);
+        // Sprint consumer (period 2): visible from tick 8.
+        assert_eq!(q.front_visible(7, 2), None);
+        assert_eq!(q.front_visible(8, 2), Some(42));
+        // Rest consumer (period 9): only from tick 15.
+        assert_eq!(q.front_visible(14, 9), None);
+        assert_eq!(q.front_visible(15, 9), Some(42));
+    }
+
+    #[test]
+    fn eager_fork_pops_after_all_users() {
+        let mut q = BisyncQueue::new(2);
+        q.push(5, 0);
+        q.push(6, 0);
+        let required = [true, true, false];
+        assert_eq!(q.front_visible_for(10, 3, 0), Some(5));
+        q.take(0, required);
+        // User 0 no longer sees the front; user 1 still does.
+        assert_eq!(q.front_visible_for(10, 3, 0), None);
+        assert_eq!(q.front_visible_for(10, 3, 1), Some(5));
+        assert_eq!(q.len(), 2, "token stays until all users take");
+        q.take(1, required);
+        assert_eq!(q.len(), 1, "popped after the last user");
+        assert_eq!(q.front_visible_for(10, 3, 0), Some(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "double take")]
+    fn double_take_panics() {
+        let mut q = BisyncQueue::new(2);
+        q.push(5, 0);
+        q.take(0, [true, true, false]);
+        q.take(0, [true, true, false]);
+    }
+
+    #[test]
+    fn only_front_matters() {
+        let mut q = BisyncQueue::new(2);
+        q.push(1, 0);
+        q.push(2, 100);
+        assert_eq!(q.front_visible(3, 3), Some(1));
+        q.pop();
+        assert_eq!(q.front_visible(3, 3), None, "second token still fresh");
+    }
+}

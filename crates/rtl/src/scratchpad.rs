@@ -1,0 +1,128 @@
+//! Scratchpad memory: the perimeter SRAM banks.
+//!
+//! The paper's array carries a 4 kB SRAM subbank on every north/south
+//! perimeter PE, filled by the DMA unit before execution. We model the
+//! banks as windows of one unified word-addressed scratchpad: each
+//! memory PE owns a private port and its accesses are accounted per
+//! bank for energy, but the address space is shared — the paper does
+//! not describe a bank-assignment pass, and the kernels' images fit
+//! comfortably in the aggregate capacity. Bank conflicts cannot arise
+//! because each PE accesses memory through its own port at most once
+//! per cycle.
+
+use std::collections::HashMap;
+
+/// Words per 4 kB subbank.
+pub const BANK_WORDS: usize = 1024;
+
+/// The unified scratchpad with per-bank access accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scratchpad {
+    words: Vec<u32>,
+    reads: HashMap<(usize, usize), u64>,
+    writes: HashMap<(usize, usize), u64>,
+}
+
+impl Scratchpad {
+    /// Create a scratchpad initialized with `image` (padded with
+    /// zeros to a whole number of banks).
+    pub fn new(image: Vec<u32>) -> Scratchpad {
+        let mut words = image;
+        let pad = (BANK_WORDS - words.len() % BANK_WORDS) % BANK_WORDS;
+        words.extend(std::iter::repeat_n(0, pad));
+        Scratchpad {
+            words,
+            reads: HashMap::new(),
+            writes: HashMap::new(),
+        }
+    }
+
+    /// Word count.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the scratchpad holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read a word through the port of the memory PE at `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds address (a kernel bug worth failing
+    /// loudly on).
+    pub fn read(&mut self, pe: (usize, usize), addr: u32) -> u32 {
+        let a = addr as usize;
+        assert!(a < self.words.len(), "load from {a} out of bounds");
+        *self.reads.entry(pe).or_insert(0) += 1;
+        self.words[a]
+    }
+
+    /// Write a word through the port of the memory PE at `pe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-bounds address.
+    pub fn write(&mut self, pe: (usize, usize), addr: u32, value: u32) {
+        let a = addr as usize;
+        assert!(a < self.words.len(), "store to {a} out of bounds");
+        *self.writes.entry(pe).or_insert(0) += 1;
+        self.words[a] = value;
+    }
+
+    /// Accesses (reads + writes) performed by the memory PE at `pe`.
+    pub fn accesses(&self, pe: (usize, usize)) -> u64 {
+        self.reads.get(&pe).copied().unwrap_or(0) + self.writes.get(&pe).copied().unwrap_or(0)
+    }
+
+    /// The final memory image, truncated to `n` words.
+    pub fn image(&self, n: usize) -> Vec<u32> {
+        self.words[..n.min(self.words.len())].to_vec()
+    }
+
+    /// Number of subbanks backing the current size.
+    pub fn bank_count(&self) -> usize {
+        self.words.len() / BANK_WORDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pads_to_whole_banks() {
+        let s = Scratchpad::new(vec![1, 2, 3]);
+        assert_eq!(s.len(), BANK_WORDS);
+        assert_eq!(s.bank_count(), 1);
+        let s2 = Scratchpad::new(vec![0; BANK_WORDS + 1]);
+        assert_eq!(s2.bank_count(), 2);
+    }
+
+    #[test]
+    fn read_write_and_accounting() {
+        let mut s = Scratchpad::new(vec![10, 20, 30]);
+        assert_eq!(s.read((0, 0), 1), 20);
+        s.write((3, 7), 2, 99);
+        assert_eq!(s.read((3, 7), 2), 99);
+        assert_eq!(s.accesses((0, 0)), 1);
+        assert_eq!(s.accesses((3, 7)), 2);
+        assert_eq!(s.accesses((5, 5)), 0);
+    }
+
+    #[test]
+    fn image_returns_prefix() {
+        let mut s = Scratchpad::new(vec![1, 2, 3, 4]);
+        s.write((0, 0), 0, 9);
+        assert_eq!(s.image(4), vec![9, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let mut s = Scratchpad::new(vec![0; 8]);
+        s.read((0, 0), BANK_WORDS as u32 + 5);
+    }
+}

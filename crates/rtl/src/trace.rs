@@ -1,0 +1,203 @@
+//! VCD waveform dumping.
+//!
+//! Renders a fabric run's recorded events as a Value Change Dump file
+//! viewable in GTKWave & co: one `fire` wire and one `bps` wire per
+//! non-gated PE, pulsing on the PLL tick each event occurs. Useful for
+//! eyeballing recurrence pipelines the way the paper's Figure 1(d)
+//! pipeline diagram does.
+
+use crate::fabric::Activity;
+use std::fmt::Write as _;
+use uecgra_compiler::bitstream::{Bitstream, PeRole};
+use uecgra_compiler::mapping::Coord;
+
+/// VCD identifier for signal `n` (printable ASCII, excluding space).
+fn vcd_id(n: usize) -> String {
+    let mut n = n;
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Render a run as VCD text. PEs are named `pe_<x>_<y>_<op>`; only
+/// non-gated PEs get signals. The timescale is one PLL tick.
+///
+/// # Panics
+///
+/// Panics if the run was made without `record_events` but has nonzero
+/// activity (nothing to dump would silently produce an empty wave).
+pub fn to_vcd(activity: &Activity, bitstream: &Bitstream) -> String {
+    let total_fires: u64 = activity.fires.iter().flatten().sum();
+    assert!(
+        total_fires == 0 || !activity.events.is_empty(),
+        "run the fabric with `record_events: true` to dump waveforms"
+    );
+
+    // Collect signals.
+    struct Signal {
+        id_fire: String,
+        id_bps: String,
+        name: String,
+        pe: Coord,
+    }
+    let mut signals: Vec<Signal> = Vec::new();
+    for (y, row) in bitstream.grid.iter().enumerate() {
+        for (x, cfg) in row.iter().enumerate() {
+            let suffix = match cfg.role {
+                PeRole::Gated => continue,
+                PeRole::RouteOnly => "bypass".to_string(),
+                PeRole::Compute(op) => op.mnemonic().to_string(),
+            };
+            let n = signals.len();
+            signals.push(Signal {
+                id_fire: vcd_id(2 * n),
+                id_bps: vcd_id(2 * n + 1),
+                name: format!("pe_{x}_{y}_{suffix}"),
+                pe: (x, y),
+            });
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "$date reproduction run $end");
+    let _ = writeln!(out, "$version uecgra-rtl $end");
+    let _ = writeln!(out, "$timescale 1ns $end");
+    let _ = writeln!(out, "$scope module fabric $end");
+    for s in &signals {
+        let _ = writeln!(out, "$var wire 1 {} {}_fire $end", s.id_fire, s.name);
+        let _ = writeln!(out, "$var wire 1 {} {}_bps $end", s.id_bps, s.name);
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Initial values.
+    let _ = writeln!(out, "#0");
+    let _ = writeln!(out, "$dumpvars");
+    for s in &signals {
+        let _ = writeln!(out, "0{}", s.id_fire);
+        let _ = writeln!(out, "0{}", s.id_bps);
+    }
+    let _ = writeln!(out, "$end");
+
+    // Events: pulse high at the event tick, low at the next tick.
+    let lookup: std::collections::HashMap<Coord, usize> = signals
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.pe, i))
+        .collect();
+    let mut changes: Vec<(u64, String)> = Vec::new();
+    for e in &activity.events {
+        let Some(&i) = lookup.get(&e.pe) else { continue };
+        let id = if e.is_fire {
+            &signals[i].id_fire
+        } else {
+            &signals[i].id_bps
+        };
+        changes.push((e.tick, format!("1{id}")));
+        changes.push((e.tick + 1, format!("0{id}")));
+    }
+    changes.sort();
+    // Time zero is already open from the $dumpvars block.
+    let mut last_t = 0u64;
+    for (t, line) in changes {
+        if t != last_t {
+            let _ = writeln!(out, "#{t}");
+            last_t = t;
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Fabric, FabricConfig};
+    use uecgra_clock::VfMode;
+    use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+    use uecgra_dfg::kernels;
+
+    fn traced_run() -> (Bitstream, Activity) {
+        let k = kernels::llist::build_with_hops(10);
+        let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), 3).unwrap();
+        let modes = vec![VfMode::Nominal; k.dfg.node_count()];
+        let bs = Bitstream::assemble(&k.dfg, &mapped, &modes).unwrap();
+        let config = FabricConfig {
+            marker: Some(mapped.coord_of(k.iter_marker)),
+            record_events: true,
+            ..FabricConfig::default()
+        };
+        let act = Fabric::new(&bs, k.mem.clone(), config).run();
+        (bs, act)
+    }
+
+    #[test]
+    fn vcd_has_header_and_signals() {
+        let (bs, act) = traced_run();
+        let vcd = to_vcd(&act, &bs);
+        assert!(vcd.starts_with("$date"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("_fire $end"));
+        assert!(vcd.contains("$dumpvars"));
+    }
+
+    #[test]
+    fn event_count_matches_activity() {
+        let (bs, act) = traced_run();
+        let fires: u64 = act.fires.iter().flatten().sum();
+        let bypasses: u64 = act.bypass_tokens.iter().flatten().sum();
+        assert_eq!(act.events.len() as u64, fires + bypasses);
+        let vcd = to_vcd(&act, &bs);
+        // Each event contributes a rise and a fall.
+        let rises = vcd.lines().filter(|l| l.starts_with('1')).count() as u64;
+        assert_eq!(rises, fires + bypasses);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let (bs, act) = traced_run();
+        let vcd = to_vcd(&act, &bs);
+        let mut last = 0i64;
+        for line in vcd.lines() {
+            if let Some(t) = line.strip_prefix('#') {
+                let t: i64 = t.parse().unwrap();
+                assert!(
+                    t > last || (t == 0 && last == 0),
+                    "timestamps must strictly increase"
+                );
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn vcd_ids_are_unique_and_printable() {
+        let ids: Vec<String> = (0..300).map(vcd_id).collect();
+        let set: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "record_events")]
+    fn untraced_run_is_rejected() {
+        let k = kernels::llist::build_with_hops(10);
+        let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), 3).unwrap();
+        let modes = vec![VfMode::Nominal; k.dfg.node_count()];
+        let bs = Bitstream::assemble(&k.dfg, &mapped, &modes).unwrap();
+        let config = FabricConfig {
+            marker: Some(mapped.coord_of(k.iter_marker)),
+            ..FabricConfig::default()
+        };
+        let act = Fabric::new(&bs, k.mem.clone(), config).run();
+        to_vcd(&act, &bs);
+    }
+}

@@ -1,0 +1,192 @@
+//! Transistor-level voltage–frequency modeling.
+//!
+//! The paper calibrates its V-f relationship with SPICE simulations of
+//! a ring of 21 delay stages built from FO4-loaded inverters, NANDs,
+//! and NORs, sized so the loop delay matches the gate-level cycle time
+//! (Section VI-B). Without a SPICE deck, this module substitutes the
+//! classic **alpha-power law** MOSFET model — delay ∝ V / (V − Vt)^α —
+//! whose two parameters are calibrated so the ring reproduces the
+//! paper's anchor observations in TSMC 28 nm:
+//!
+//! * resting to 0.61 V runs ≈ 3.0× slower than 0.90 V;
+//! * sprinting to 1.23 V runs ≈ 1.5× faster (1.58× before the
+//!   ratiochronous quantization trimmed 5%).
+
+/// One delay stage of the ring (an FO4-loaded gate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayStage {
+    /// Effective threshold voltage (V).
+    pub vt: f64,
+    /// Velocity-saturation exponent α.
+    pub alpha: f64,
+    /// Delay scale constant (ps·V^(α−1)).
+    pub k: f64,
+}
+
+impl DelayStage {
+    /// Stage delay in picoseconds at the given supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is at or below threshold — the UE-CGRA explicitly
+    /// avoids near-threshold operation (Section V).
+    pub fn delay_ps(&self, v: f64) -> f64 {
+        assert!(
+            v > self.vt + 0.05,
+            "supply {v} V too close to threshold {} V",
+            self.vt
+        );
+        self.k * v / (v - self.vt).powf(self.alpha)
+    }
+}
+
+/// A ring oscillator of `stages` delay stages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingOscillator {
+    /// The (identical) delay stage.
+    pub stage: DelayStage,
+    /// Stage count (paper: 21).
+    pub stages: usize,
+}
+
+impl RingOscillator {
+    /// The calibrated 21-stage ring: parameters grid-searched so the
+    /// rest/sprint frequency ratios match the paper's SPICE results
+    /// and the loop delay at 0.90 V equals the 750 MHz cycle time.
+    pub fn calibrated() -> RingOscillator {
+        // Grid-search Vt and alpha against the two ratio anchors.
+        let targets = [(0.61, 1.0 / 3.0), (1.23, 1.58)];
+        let mut best = (f64::MAX, 0.3, 1.6);
+        let mut vt = 0.20;
+        while vt <= 0.45 {
+            let mut alpha = 1.2;
+            while alpha <= 2.4 {
+                let probe = DelayStage { vt, alpha, k: 1.0 };
+                let f0 = 1.0 / probe.delay_ps(0.90);
+                let err: f64 = targets
+                    .iter()
+                    .map(|&(v, ratio)| {
+                        let f = 1.0 / probe.delay_ps(v);
+                        ((f / f0 - ratio) / ratio).powi(2)
+                    })
+                    .sum();
+                if err < best.0 {
+                    best = (err, vt, alpha);
+                }
+                alpha += 0.01;
+            }
+            vt += 0.005;
+        }
+        let (_, vt, alpha) = best;
+        // Scale k so 21 stages at 0.90 V give one 750 MHz period.
+        let unit = DelayStage { vt, alpha, k: 1.0 };
+        let period_target_ps = 1e6 / 750.0; // 1333 ps
+        let k = period_target_ps / (21.0 * unit.delay_ps(0.90));
+        RingOscillator {
+            stage: DelayStage { vt, alpha, k },
+            stages: 21,
+        }
+    }
+
+    /// Loop delay (one output period) in picoseconds.
+    pub fn period_ps(&self, v: f64) -> f64 {
+        self.stage.delay_ps(v) * self.stages as f64
+    }
+
+    /// Oscillation frequency in MHz.
+    pub fn frequency_mhz(&self, v: f64) -> f64 {
+        1e6 / self.period_ps(v)
+    }
+
+    /// Frequency relative to the 0.90 V nominal point.
+    pub fn speedup_at(&self, v: f64) -> f64 {
+        self.frequency_mhz(v) / self.frequency_mhz(0.90)
+    }
+
+    /// Fit the paper-style quadratic `f(V) = k1·V² + k2·V + k3`
+    /// through three probe voltages, returning `(k1, k2, k3)` in MHz.
+    pub fn quadratic_fit(&self, probes: [f64; 3]) -> (f64, f64, f64) {
+        let [x0, x1, x2] = probes;
+        let (y0, y1, y2) = (
+            self.frequency_mhz(x0),
+            self.frequency_mhz(x1),
+            self.frequency_mhz(x2),
+        );
+        let d0 = (x0 - x1) * (x0 - x2);
+        let d1 = (x1 - x0) * (x1 - x2);
+        let d2 = (x2 - x0) * (x2 - x1);
+        let k1 = y0 / d0 + y1 / d1 + y2 / d2;
+        let k2 = -(y0 * (x1 + x2) / d0 + y1 * (x0 + x2) / d1 + y2 * (x0 + x1) / d2);
+        let k3 = y0 * x1 * x2 / d0 + y1 * x0 * x2 / d1 + y2 * x0 * x1 / d2;
+        (k1, k2, k3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_hits_750mhz() {
+        let ring = RingOscillator::calibrated();
+        assert!((ring.frequency_mhz(0.90) - 750.0).abs() < 1.0);
+        assert!((ring.period_ps(0.90) - 1333.3).abs() < 2.0);
+    }
+
+    #[test]
+    fn rest_is_about_three_times_slower() {
+        // Paper Section IV-D: 0.6 V decreases drive for ~3.0x slower.
+        let ring = RingOscillator::calibrated();
+        let s = ring.speedup_at(0.61);
+        assert!((s - 1.0 / 3.0).abs() < 0.05, "rest speedup {s}");
+    }
+
+    #[test]
+    fn sprint_is_about_1_58x_faster() {
+        // Paper Section IV-D: 1.3 V gives roughly a 1.58x boost; at the
+        // quantized 1.23 V the ring lands near 1.5x.
+        let ring = RingOscillator::calibrated();
+        let s = ring.speedup_at(1.23);
+        assert!((s - 1.55).abs() < 0.12, "sprint speedup {s}");
+        assert!(ring.speedup_at(1.30) > s, "more volts, more speed");
+    }
+
+    #[test]
+    fn frequency_is_monotone_in_voltage() {
+        let ring = RingOscillator::calibrated();
+        let mut v = 0.55;
+        let mut prev = ring.frequency_mhz(v);
+        while v < 1.30 {
+            v += 0.01;
+            let f = ring.frequency_mhz(v);
+            assert!(f > prev, "non-monotone at {v}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn quadratic_fit_matches_ring_between_probes() {
+        let ring = RingOscillator::calibrated();
+        let (k1, k2, k3) = ring.quadratic_fit([0.61, 0.90, 1.23]);
+        // Like the paper's fitted polynomial, the quadratic tracks the
+        // ring closely over the operating range.
+        let mut v = 0.61;
+        while v <= 1.23 {
+            let poly = k1 * v * v + k2 * v + k3;
+            let ring_f = ring.frequency_mhz(v);
+            assert!(
+                (poly - ring_f).abs() / ring_f < 0.03,
+                "fit off by >3% at {v}: {poly} vs {ring_f}"
+            );
+            v += 0.02;
+        }
+        assert!(k1 < 0.0, "concave fit, like the paper's k1 = -1161.6");
+    }
+
+    #[test]
+    #[should_panic(expected = "too close to threshold")]
+    fn near_threshold_is_rejected() {
+        let ring = RingOscillator::calibrated();
+        ring.frequency_mhz(0.3);
+    }
+}

@@ -1,0 +1,68 @@
+//! Design-space exploration with the analytical model.
+//!
+//! Uses the Section II analytical model the way an architect would
+//! during early design: sweep every per-chain VF assignment of a
+//! dataflow graph, print the Pareto frontier, and compare against what
+//! the compiler's three-phase power-mapping heuristic finds on its
+//! own.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use uecgra_clock::VfMode;
+use uecgra_compiler::power_map::{power_map, Objective};
+use uecgra_dfg::kernels::synthetic;
+use uecgra_model::sweep::sweep_group_modes;
+
+fn main() {
+    let cs = synthetic::fig3_case_study();
+    println!(
+        "case-study DFG: {} ops, {} live-ins, one {}-node cycle\n",
+        cs.dfg.pe_node_count(),
+        cs.live_ins.len(),
+        cs.cycle.len()
+    );
+
+    // Exhaustive sweep (3^groups configurations).
+    let sweep = sweep_group_modes(&cs.dfg, vec![0; 4096], cs.iter_marker);
+    println!("exhaustive sweep: {} configurations", sweep.points.len());
+    println!("Pareto frontier (speedup, efficiency):");
+    for p in sweep.pareto_front() {
+        let modes: Vec<&str> = p
+            .group_modes
+            .iter()
+            .map(|m| match m {
+                VfMode::Rest => "r",
+                VfMode::Nominal => "n",
+                VfMode::Sprint => "S",
+            })
+            .collect();
+        println!(
+            "  {:>5.2}x speed, {:>5.2}x eff   groups [{}]",
+            p.speedup,
+            p.efficiency,
+            modes.join("")
+        );
+    }
+
+    // What the heuristic finds without the exhaustive search.
+    println!("\nthree-phase power-mapping heuristic:");
+    for (label, objective) in [
+        ("performance-optimized", Objective::Performance),
+        ("energy-optimized", Objective::Energy),
+    ] {
+        let pm = power_map(&cs.dfg, vec![0; 4096], cs.iter_marker, objective);
+        println!(
+            "  {label:<24} {:>5.2}x speed, {:>5.2}x eff",
+            pm.speedup(),
+            pm.efficiency()
+        );
+    }
+
+    let best = sweep.best_edp().expect("nonempty");
+    println!(
+        "\nbest energy-delay point in the full space: {:.2}x speed, {:.2}x eff",
+        best.speedup, best.efficiency
+    );
+    println!("The O(N*M) heuristic lands on (or next to) the exhaustive frontier —");
+    println!("the paper's argument for why a simple pass suffices in the compiler.");
+}

@@ -1,0 +1,13 @@
+//! Workspace facade: re-exports each layer of the UE-CGRA reproduction.
+//!
+//! See `README.md` and `DESIGN.md` for the architecture overview and
+//! `EXPERIMENTS.md` for the reproduction results.
+
+pub use uecgra_clock as clock;
+pub use uecgra_compiler as compiler;
+pub use uecgra_core as core_pipeline;
+pub use uecgra_dfg as dfg;
+pub use uecgra_model as model;
+pub use uecgra_rtl as rtl;
+pub use uecgra_system as system;
+pub use uecgra_vlsi as vlsi;

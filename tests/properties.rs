@@ -1,0 +1,198 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use proptest::prelude::*;
+use uecgra_clock::{ClockSet, Suppressor, VfMode};
+use uecgra_compiler::bitstream::{Bypass, Dir, OperandSel, PeConfig, PeRole};
+use uecgra_dfg::{kernels, Op, PE_OPS};
+use uecgra_model::{DfgSimulator, SimConfig, StopReason};
+use uecgra_system::{AluOp, BranchOp, Instr, MulOp};
+
+fn arb_mode() -> impl Strategy<Value = VfMode> {
+    prop_oneof![
+        Just(VfMode::Rest),
+        Just(VfMode::Nominal),
+        Just(VfMode::Sprint)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// THE elastic-design theorem: any per-node DVFS assignment and any
+    /// queue depth >= 2 produce the same results as the host reference —
+    /// only timing changes. (Depth 1 also works for correctness; it is
+    /// included.)
+    #[test]
+    fn any_dvfs_assignment_preserves_dither(
+        mode_pool in proptest::collection::vec(arb_mode(), 64),
+        depth in 1usize..4,
+    ) {
+        let k = kernels::dither::build_with_pixels(24);
+        let modes = mode_pool[..k.dfg.node_count()].to_vec();
+        let config = SimConfig {
+            marker: Some(k.iter_marker),
+            queue_capacity: depth,
+            ..SimConfig::default()
+        };
+        let r = DfgSimulator::new(&k.dfg, modes, k.mem.clone(), config).run();
+        prop_assert_eq!(r.stop, StopReason::Quiesced);
+        prop_assert_eq!(r.mem, k.reference_memory());
+    }
+
+    /// Ditto for the pointer chase, whose control flow is fully
+    /// data-dependent.
+    #[test]
+    fn any_dvfs_assignment_preserves_llist(
+        mode_pool in proptest::collection::vec(arb_mode(), 64),
+    ) {
+        let k = kernels::llist::build_with_hops(16);
+        let modes = mode_pool[..k.dfg.node_count()].to_vec();
+        let config = SimConfig {
+            marker: Some(k.iter_marker),
+            ..SimConfig::default()
+        };
+        let r = DfgSimulator::new(&k.dfg, modes, k.mem.clone(), config).run();
+        prop_assert_eq!(r.stop, StopReason::Quiesced);
+        prop_assert_eq!(r.mem, k.reference_memory());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ALU op algebra: comparison pairs are complementary, add/sub
+    /// invert, copies project.
+    #[test]
+    fn op_eval_algebra(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(Op::Eq.eval(a, b) ^ Op::Ne.eval(a, b), 1);
+        prop_assert_eq!(Op::Lt.eval(a, b) ^ Op::Geq.eval(a, b), 1);
+        prop_assert_eq!(Op::Gt.eval(a, b) ^ Op::Leq.eval(a, b), 1);
+        prop_assert_eq!(Op::Sub.eval(Op::Add.eval(a, b), b), a);
+        prop_assert_eq!(Op::Cp0.eval(a, b), a);
+        prop_assert_eq!(Op::Cp1.eval(a, b), b);
+        prop_assert_eq!(Op::Xor.eval(Op::Xor.eval(a, b), b), a);
+    }
+
+    /// Every RV32IM instruction the assembler can emit round-trips
+    /// through its binary encoding.
+    #[test]
+    fn isa_encode_decode_roundtrip(
+        rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
+        imm in -2048i32..=2047,
+        shamt in 0i32..32,
+        branch_off in -2048i32..=2047,
+        alu_idx in 0usize..10,
+        mul_idx in 0usize..8,
+        br_idx in 0usize..6,
+    ) {
+        let alu = [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Slt, AluOp::Sltu,
+                   AluOp::Xor, AluOp::Srl, AluOp::Sra, AluOp::Or, AluOp::And][alu_idx];
+        let mul = [MulOp::Mul, MulOp::Mulh, MulOp::Mulhsu, MulOp::Mulhu,
+                   MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu][mul_idx];
+        let br = [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge,
+                  BranchOp::Ltu, BranchOp::Geu][br_idx];
+        let mut cases = vec![
+            Instr::Op { op: alu, rd, rs1, rs2 },
+            Instr::MulDiv { op: mul, rd, rs1, rs2 },
+            Instr::Branch { op: br, rs1, rs2, offset: branch_off & !1 },
+            Instr::Lw { rd, rs1, offset: imm },
+            Instr::Sw { rs1, rs2, offset: imm },
+            Instr::Jal { rd, offset: (imm & !1) * 2 },
+        ];
+        if alu != AluOp::Sub {
+            let i = if matches!(alu, AluOp::Sll | AluOp::Srl | AluOp::Sra) { shamt } else { imm };
+            cases.push(Instr::OpImm { op: alu, rd, rs1, imm: i });
+        }
+        for instr in cases {
+            prop_assert_eq!(Instr::decode(instr.encode()), Ok(instr));
+        }
+    }
+
+    /// PE configuration words round-trip through packing.
+    #[test]
+    fn bitstream_pack_unpack_roundtrip(
+        op_idx in 0usize..PE_OPS.len(),
+        route_only in any::<bool>(),
+        op0 in 0u32..7, op1 in 0u32..7,
+        t_mask in any::<[bool; 4]>(),
+        f_mask in any::<[bool; 4]>(),
+        bp0 in proptest::option::of((0u32..4, any::<[bool; 4]>())),
+        bp1 in proptest::option::of((0u32..4, any::<[bool; 4]>())),
+        clk in arb_mode(),
+        reg_write in any::<bool>(),
+    ) {
+        let dir = |c: u32| Dir::ALL[c as usize];
+        let sel = |c: u32| match c {
+            0..=3 => OperandSel::Queue(dir(c)),
+            4 => OperandSel::Reg,
+            5 => OperandSel::Const,
+            _ => OperandSel::None,
+        };
+        let cfg = PeConfig {
+            role: if route_only { PeRole::RouteOnly } else { PeRole::Compute(PE_OPS[op_idx]) },
+            operands: [sel(op0), sel(op1)],
+            alu_true_mask: t_mask,
+            alu_false_mask: f_mask,
+            bypass: [
+                bp0.map(|(s, m)| Bypass { src: dir(s), dst_mask: m }),
+                bp1.map(|(s, m)| Bypass { src: dir(s), dst_mask: m }),
+            ],
+            clk,
+            reg_write,
+            constant: None,
+            init: None,
+        };
+        prop_assert_eq!(PeConfig::unpack(cfg.pack()), cfg);
+    }
+
+    /// Any valid clock plan passes the STA cross-product check, and
+    /// the suppressor invariant holds: a token aged one receiver
+    /// period is always readable at the next receiver edge.
+    #[test]
+    fn clock_plans_verify_and_suppressor_is_live(
+        sprint in 1u32..5,
+        nom_mult in 1u32..4,
+        rest_mult in 1u32..4,
+    ) {
+        let nominal = sprint * nom_mult;
+        let rest = nominal * rest_mult;
+        let clocks = ClockSet::new([rest, nominal, sprint]).expect("ordered divisors");
+        let report = uecgra_clock::sta::verify_all(&clocks);
+        prop_assert!(report.all_clean(), "{}", report);
+
+        // Liveness: for every src→dst pair, a token written at any src
+        // edge is readable at some dst edge within one hyperperiod +
+        // one dst period.
+        let h = clocks.hyperperiod();
+        for src in VfMode::ALL {
+            for dst in VfMode::ALL {
+                let sup = Suppressor::new(&clocks, src, dst);
+                for t_w in clocks.rising_edges(src) {
+                    let mut t = clocks.next_rising(dst, t_w);
+                    let deadline = t_w + h + clocks.period(dst);
+                    while !sup.allows(t, t_w) {
+                        t = clocks.next_rising(dst, t);
+                        prop_assert!(t <= deadline, "{src}->{dst} token starved");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Source/sink bookkeeping: a chain fed by a limited source
+    /// delivers exactly that many tokens.
+    #[test]
+    fn source_limit_is_exact(limit in 1u64..40, n in 1usize..6) {
+        use uecgra_dfg::kernels::synthetic;
+        let s = synthetic::chain(n);
+        let config = SimConfig {
+            marker: Some(s.iter_marker),
+            source_limit: Some(limit),
+            ..SimConfig::default()
+        };
+        let modes = vec![VfMode::Nominal; s.dfg.node_count()];
+        let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
+        prop_assert_eq!(r.stop, StopReason::Quiesced);
+        prop_assert_eq!(r.iterations(), limit);
+    }
+}
