@@ -1,18 +1,17 @@
-//! Criterion benchmarks over the reproduction stack: one group per
+//! Wall-clock benchmarks over the reproduction stack: one group per
 //! paper artifact, measuring the cost of regenerating it. (The
 //! `src/bin/*` binaries print the artifacts themselves; these benches
 //! keep the machinery honest and measurable.)
+//!
+//! Dependency-free by necessity — the build container has no network,
+//! so `criterion` cannot be fetched. Each benchmark runs a warmup
+//! pass, then reports min/median/mean over a fixed number of
+//! iterations; `harness = false` plus the non-default `bench-harness`
+//! feature keep this target out of ordinary `cargo test` builds.
+//! Run with: `cargo bench -p uecgra-bench --features bench-harness`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
-
-/// Keep the full-workspace bench run quick: short warmup/measurement
-/// windows are plenty for these deterministic simulators.
-fn quick(g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
-    g.warm_up_time(Duration::from_millis(400));
-    g.measurement_time(Duration::from_secs(1));
-}
+use std::time::Instant;
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::Bitstream;
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
@@ -25,13 +24,33 @@ use uecgra_model::{DfgSimulator, SimConfig};
 use uecgra_rtl::fabric::{Fabric, FabricConfig};
 use uecgra_vlsi::area::{pe_area, CgraKind, FIG10_CYCLE_TIMES};
 
+/// Time `f` over `iters` iterations after one warmup call and print a
+/// criterion-style summary line.
+fn bench<R>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{group}/{name}: min {min:.3} ms, median {median:.3} ms, mean {mean:.3} ms ({iters} iters)"
+    );
+}
+
 /// Figure 2/7: the analytical discrete-event simulator on toy DFGs.
-fn bench_analytical_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig02_07_analytical_sim");
-    quick(&mut g);
-    g.sample_size(20);
-    g.bench_function("cycle4_nominal_200_iters", |b| {
-        b.iter(|| {
+fn bench_analytical_sim() {
+    bench(
+        "fig02_07_analytical_sim",
+        "cycle4_nominal_200_iters",
+        20,
+        || {
             let s = synthetic::cycle_n(4);
             let config = SimConfig {
                 marker: Some(s.iter_marker),
@@ -39,79 +58,59 @@ fn bench_analytical_sim(c: &mut Criterion) {
                 ..SimConfig::default()
             };
             let modes = vec![VfMode::Nominal; s.dfg.node_count()];
-            black_box(DfgSimulator::new(&s.dfg, modes, vec![], config).run())
-        })
-    });
-    g.finish();
+            DfgSimulator::new(&s.dfg, modes, vec![], config).run()
+        },
+    );
 }
 
 /// Figure 3: the full per-group VF sweep.
-fn bench_fig3_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig03_sweep");
-    quick(&mut g);
-    g.sample_size(10);
-    g.bench_function("case_study_full_sweep", |b| {
-        b.iter(|| {
-            let cs = synthetic::fig3_case_study();
-            black_box(sweep_group_modes(&cs.dfg, vec![0; 4096], cs.iter_marker))
-        })
+fn bench_fig3_sweep() {
+    bench("fig03_sweep", "case_study_full_sweep", 10, || {
+        let cs = synthetic::fig3_case_study();
+        sweep_group_modes(&cs.dfg, vec![0; 4096], cs.iter_marker)
     });
-    g.finish();
 }
 
 /// Figures 10-12: the VLSI area models.
-fn bench_vlsi_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_12_vlsi");
-    quick(&mut g);
-    g.bench_function("pe_area_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for kind in CgraKind::ALL {
-                for &t in &FIG10_CYCLE_TIMES {
-                    acc += pe_area(kind, t);
-                }
+fn bench_vlsi_models() {
+    bench("fig10_12_vlsi", "pe_area_sweep", 50, || {
+        let mut acc = 0.0;
+        for kind in CgraKind::ALL {
+            for &t in &FIG10_CYCLE_TIMES {
+                acc += pe_area(kind, t);
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
-    g.finish();
 }
 
 /// Compiler: place + route + power-map + assemble for each kernel.
-fn bench_compiler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compiler");
-    quick(&mut g);
-    g.sample_size(10);
+fn bench_compiler() {
     for k in [
         kernels::llist::build_with_hops(60),
         kernels::fft::build_with_group(60),
     ] {
-        g.bench_function(format!("map_and_assemble_{}", k.name), |b| {
-            b.iter(|| {
+        bench(
+            "compiler",
+            &format!("map_and_assemble_{}", k.name),
+            10,
+            || {
                 let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), SEED).unwrap();
                 let modes = vec![VfMode::Nominal; k.dfg.node_count()];
-                black_box(Bitstream::assemble(&k.dfg, &mapped, &modes).unwrap())
-            })
-        });
-        g.bench_function(format!("power_map_popt_{}", k.name), |b| {
-            b.iter(|| {
-                black_box(power_map(
-                    &k.dfg,
-                    k.mem.clone(),
-                    k.iter_marker,
-                    Objective::Performance,
-                ))
-            })
-        });
+                Bitstream::assemble(&k.dfg, &mapped, &modes).unwrap()
+            },
+        );
+        bench(
+            "compiler",
+            &format!("power_map_popt_{}", k.name),
+            10,
+            || power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance),
+        );
     }
-    g.finish();
 }
 
 /// Tables II/III: the cycle-level fabric executing kernels.
-fn bench_fabric(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_3_fabric");
-    quick(&mut g);
-    g.sample_size(10);
+fn bench_fabric() {
     for k in [
         kernels::dither::build_with_pixels(120),
         kernels::bf::build_with_rounds(32),
@@ -120,35 +119,31 @@ fn bench_fabric(c: &mut Criterion) {
         let modes = vec![VfMode::Nominal; k.dfg.node_count()];
         let bs = Bitstream::assemble(&k.dfg, &mapped, &modes).unwrap();
         let marker = mapped.coord_of(k.iter_marker);
-        g.bench_function(format!("fabric_{}", k.name), |b| {
-            b.iter(|| {
-                let config = FabricConfig {
-                    marker: Some(marker),
-                    ..FabricConfig::default()
-                };
-                black_box(Fabric::new(&bs, k.mem.clone(), config).run())
-            })
+        bench("table2_3_fabric", &format!("fabric_{}", k.name), 10, || {
+            let config = FabricConfig {
+                marker: Some(marker),
+                ..FabricConfig::default()
+            };
+            Fabric::new(&bs, k.mem.clone(), config).run()
         });
     }
-    g.finish();
 }
 
 /// The full end-to-end pipeline (one Table II cell).
-fn bench_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_end_to_end");
-    quick(&mut g);
-    g.sample_size(10);
+fn bench_pipeline() {
     let k = kernels::llist::build_with_hops(120);
     for policy in Policy::ALL {
-        g.bench_function(policy.label().replace(' ', "_"), |b| {
-            b.iter(|| black_box(run_kernel(&k, policy, SEED).unwrap()))
-        });
+        bench(
+            "pipeline_end_to_end",
+            &policy.label().replace(' ', "_"),
+            10,
+            || run_kernel(&k, policy, SEED).unwrap(),
+        );
     }
-    g.finish();
 }
 
 /// The compiler's text frontend.
-fn bench_parser(c: &mut Criterion) {
+fn bench_parser() {
     let src = "
         array src @ 16;
         array dst @ 1048;
@@ -158,48 +153,33 @@ fn bench_parser(c: &mut Criterion) {
             else { dst[i] = 0; err = out; }
         }
     ";
-    let mut g = c.benchmark_group("frontend");
-    quick(&mut g);
-    g.bench_function("parse_and_lower_dither", |b| {
-        b.iter(|| {
-            let p = uecgra_compiler::parse::parse(black_box(src)).unwrap();
-            black_box(uecgra_compiler::frontend::lower(&p.nest).unwrap())
-        })
+    bench("frontend", "parse_and_lower_dither", 50, || {
+        let p = uecgra_compiler::parse::parse(black_box(src)).unwrap();
+        uecgra_compiler::frontend::lower(&p.nest).unwrap()
     });
-    g.finish();
 }
 
 /// The out-of-order scheduling model over a kernel trace.
-fn bench_ooo(c: &mut Criterion) {
+fn bench_ooo() {
     use uecgra_system::{programs, run_ooo, OooParams};
     let k = kernels::fft::build_with_group(200);
-    let mut g = c.benchmark_group("system_ooo");
-    quick(&mut g);
-    g.sample_size(10);
-    g.bench_function("ooo_schedule_fft", |b| {
-        b.iter(|| {
-            black_box(
-                run_ooo(
-                    programs::fft_program(200),
-                    k.mem.clone(),
-                    OooParams::default(),
-                )
-                .unwrap(),
-            )
-        })
+    bench("system_ooo", "ooo_schedule_fft", 10, || {
+        run_ooo(
+            programs::fft_program(200),
+            k.mem.clone(),
+            OooParams::default(),
+        )
+        .unwrap()
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_analytical_sim,
-    bench_fig3_sweep,
-    bench_vlsi_models,
-    bench_compiler,
-    bench_fabric,
-    bench_pipeline,
-    bench_parser,
-    bench_ooo
-);
-criterion_main!(benches);
+fn main() {
+    bench_analytical_sim();
+    bench_fig3_sweep();
+    bench_vlsi_models();
+    bench_compiler();
+    bench_fabric();
+    bench_pipeline();
+    bench_parser();
+    bench_ooo();
+}

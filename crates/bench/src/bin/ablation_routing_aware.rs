@@ -39,8 +39,13 @@ fn main() {
         let nominal = vec![VfMode::Nominal; k.dfg.node_count()];
         let e_ii = measure(&k, &nominal, &mapped);
 
-        let logical =
-            power_map_routed(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance, &[]);
+        let logical = power_map_routed(
+            &k.dfg,
+            k.mem.clone(),
+            k.iter_marker,
+            Objective::Performance,
+            &[],
+        );
         let extra: Vec<u32> = k.dfg.edges().map(|(id, _)| mapped.extra_hops(id)).collect();
         let routed = power_map_routed(
             &k.dfg,

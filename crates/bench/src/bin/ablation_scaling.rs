@@ -37,7 +37,9 @@ fn main() {
     );
     let k = kernels::dither::build_with_pixels(120);
     let pm = power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance);
-    for dim in [8usize, 16] {
+    // Each array size maps and measures independently; format the rows
+    // in parallel and print them in order afterwards.
+    let rows = uecgra_core::par::par_map(&[8usize, 16], |&dim| {
         let shape = ArrayShape {
             width: dim,
             height: dim,
@@ -53,18 +55,25 @@ fn main() {
             e_global_net_mw: 0.24 * scale,
             ..ClockPowerParams::default()
         };
-        let ungated =
-            clock_power(CgraKind::UltraElastic, &params, &grid, GatingConfig::POWER_ONLY);
+        let ungated = clock_power(
+            CgraKind::UltraElastic,
+            &params,
+            &grid,
+            GatingConfig::POWER_ONLY,
+        );
         let gated = clock_power(CgraKind::UltraElastic, &params, &grid, GatingConfig::FULL);
         let used = grid.iter().flatten().filter(|m| m.is_some()).count();
-        println!(
+        format!(
             "{:<8} {:>10} {:>12.2} {:>12.2} {:>13.0}%",
             format!("{dim}x{dim}"),
             used,
             ungated.total_clock_mw(),
             gated.total_clock_mw(),
             100.0 * gated.total_clock_mw() / ungated.total_clock_mw()
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!("\nThe kernel occupies the same clusters regardless of array size, so");
     println!("hierarchical gating prunes the growing idle region: gated clock power");

@@ -37,7 +37,11 @@ fn main() {
             };
             Fabric::new(&bs, k.mem.clone(), config).run().iterations()
         };
-        let sprints = pm.node_modes.iter().filter(|m| **m == VfMode::Sprint).count();
+        let sprints = pm
+            .node_modes
+            .iter()
+            .filter(|m| **m == VfMode::Sprint)
+            .count();
         println!(
             "{:<8} {:>12} {:>14} {:>14}   ({} sprinting nodes)",
             k.name,

@@ -27,7 +27,11 @@ fn run(clocks: ClockSet, label: &str, rest_a: bool, sprint_cycle: bool) {
     };
     let r = DfgSimulator::new(&toy.dfg, modes, vec![0; 1024], config).run();
     let ii = r.steady_ii(30).expect("steady state");
-    println!("{label:<42} II = {} cycles (throughput {}/cycle)", r2(ii), r2(1.0 / ii));
+    println!(
+        "{label:<42} II = {} cycles (throughput {}/cycle)",
+        r2(ii),
+        r2(1.0 / ii)
+    );
 }
 
 fn main() {

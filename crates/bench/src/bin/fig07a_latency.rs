@@ -23,7 +23,10 @@ fn throughput(n_or_chain: Option<usize>, hop: u32) -> f64 {
 
 fn main() {
     header("Figure 7(a): throughput vs inter-PE latency (iterations/cycle)");
-    println!("{:<12} {:>8} {:>8} {:>8}", "benchmark", "1 cyc", "2 cyc", "3 cyc");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "benchmark", "1 cyc", "2 cyc", "3 cyc"
+    );
     for (label, which) in [
         ("cycle-2", Some(2)),
         ("cycle-4", Some(4)),

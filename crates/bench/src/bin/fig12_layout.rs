@@ -6,7 +6,10 @@ use uecgra_vlsi::layout::{array_area_um2, edge_um};
 
 fn main() {
     header("Figure 12: 8x8 CGRA layout at 750 MHz in TSMC 28 nm");
-    println!("{:<10} {:>12} {:>14}   paper", "CGRA", "edge (um)", "area (um^2)");
+    println!(
+        "{:<10} {:>12} {:>14}   paper",
+        "CGRA", "edge (um)", "area (um^2)"
+    );
     let paper = [463.0, 495.0, 528.0];
     for (kind, p) in CgraKind::ALL.iter().zip(paper) {
         println!(

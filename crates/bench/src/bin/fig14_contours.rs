@@ -4,7 +4,7 @@
 
 use uecgra_bench::header;
 use uecgra_clock::VfMode;
-use uecgra_core::experiments::{energy_contour, run_all_policies, SEED};
+use uecgra_core::experiments::{energy_contour, run_all_policies_many, SEED};
 use uecgra_core::pipeline::CgraRun;
 use uecgra_dfg::kernels;
 
@@ -39,11 +39,7 @@ fn print_contour(run: &CgraRun, label: &'static str) {
     for y in 0..8 {
         print!("  ");
         for x in 0..8 {
-            print!(
-                "{}{} ",
-                shade(c.energy_pj[y][x], max),
-                glyph(c.modes[y][x])
-            );
+            print!("{}{} ", shade(c.energy_pj[y][x], max), glyph(c.modes[y][x]));
         }
         println!();
     }
@@ -52,12 +48,16 @@ fn print_contour(run: &CgraRun, label: &'static str) {
 
 fn main() {
     header("Figure 14: PE energy contours (llist, dither)");
-    for k in [
+    // Both kernels × all three policies fan out across worker threads;
+    // rendering stays on the main thread in input order, so the output
+    // is bit-identical for any UECGRA_THREADS setting.
+    let ks = [
         kernels::llist::build_with_hops(400),
         kernels::dither::build_with_pixels(400),
-    ] {
-        let runs = run_all_policies(&k, SEED).expect("kernel runs");
-        println!("\n=== {} ===", k.name);
+    ];
+    let all = run_all_policies_many(&ks, SEED).expect("kernels run");
+    for runs in &all {
+        println!("\n=== {} ===", runs.kernel.name);
         print_contour(&runs.e, "E-CGRA");
         print_contour(&runs.popt, "UE-CGRA POpt");
         print_contour(&runs.eopt, "UE-CGRA EOpt");

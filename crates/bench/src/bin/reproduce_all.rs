@@ -1,7 +1,14 @@
 //! Run every table- and figure-reproduction binary's computation in
 //! one pass (the source of EXPERIMENTS.md's measured numbers).
+//!
+//! The binaries are independent processes, so they execute
+//! concurrently — one worker per [`uecgra_core::par`] slot — with
+//! stdout captured and replayed in the fixed list order below, so the
+//! combined report is byte-identical no matter how many run at once.
+//! Each child is pinned to `UECGRA_THREADS=1`: the outer fan-out
+//! already uses every worker, and doubling up would oversubscribe.
 
-use std::process::Command;
+use std::process::{Command, Output};
 
 fn main() {
     let bins = [
@@ -25,13 +32,19 @@ fn main() {
         "ablation_unroll",
         "extra_kernels",
     ];
-    for bin in bins {
+    let self_path = std::env::current_exe().expect("self path");
+    let outputs: Vec<Output> = uecgra_core::par::par_map(&bins, |bin| {
+        Command::new(self_path.with_file_name(bin))
+            .env("UECGRA_THREADS", "1")
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"))
+    });
+    for (bin, out) in bins.iter().zip(&outputs) {
         println!("\n================================================================");
         println!("== {bin}");
         println!("================================================================");
-        let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        assert!(out.status.success(), "{bin} failed");
     }
 }

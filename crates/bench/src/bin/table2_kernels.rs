@@ -10,7 +10,13 @@ fn main() {
         "{:<8} | {:>9} {:>9} | {:>9} {:>9} |  paper EOpt eff / POpt perf",
         "kernel", "EOpt perf", "EOpt eff", "POpt perf", "POpt eff"
     );
-    let paper = [(1.50, 1.49), (1.24, 1.42), (1.73, 1.50), (2.32, 1.49), (1.32, 1.44)];
+    let paper = [
+        (1.50, 1.49),
+        (1.24, 1.42),
+        (1.73, 1.50),
+        (2.32, 1.49),
+        (1.32, 1.44),
+    ];
     for (row, (pe, pp)) in table2(&evaluation_kernels(), SEED)
         .expect("all kernels compile and run")
         .iter()

@@ -2,19 +2,31 @@
 //! processor+CGRA system relative to the RV32IM core.
 
 use uecgra_bench::{evaluation_kernels, header, r2};
-use uecgra_core::experiments::{run_all_policies, table3_row, SEED};
+use uecgra_core::experiments::{run_all_policies_many, table3_row, SEED};
 use uecgra_core::pipeline::Policy;
 
 fn main() {
     header("Table III: system-level results relative to the in-order RV32IM core");
     println!(
         "{:<8} {:>5} {:>5} {:>9} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
-        "kernel", "ideal", "real", "cfg E/UE", "data",
-        "E perf", "E eff", "EO prf", "EO eff", "PO prf", "PO eff"
+        "kernel",
+        "ideal",
+        "real",
+        "cfg E/UE",
+        "data",
+        "E perf",
+        "E eff",
+        "EO prf",
+        "EO eff",
+        "PO prf",
+        "PO eff"
     );
-    for k in evaluation_kernels() {
-        let runs = run_all_policies(&k, SEED).expect("kernel runs");
-        let row = table3_row(&runs);
+    // All kernel × policy pipeline runs fan out across threads; the
+    // per-row core simulations then fan out per kernel. Printing stays
+    // on the main thread in kernel order.
+    let all = run_all_policies_many(&evaluation_kernels(), SEED).expect("kernels run");
+    let rows = uecgra_core::par::par_map(&all, table3_row);
+    for row in rows {
         let find = |p: Policy| {
             row.relative
                 .iter()

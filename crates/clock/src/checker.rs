@@ -49,7 +49,11 @@ pub fn classify_crossing(clocks: &ClockSet, src: VfMode, dst: VfMode) -> Vec<Cap
             let h = clocks.hyperperiod();
             let t = capture + h;
             let last = clocks.last_rising(src, t);
-            let launch = if last == t { clocks.last_rising(src, t - 1) } else { last };
+            let launch = if last == t {
+                clocks.last_rising(src, t - 1)
+            } else {
+                last
+            };
             let margin = t - launch;
             CaptureEdge {
                 capture,

@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn rising_edge_schedule() {
         let c = ClockSet::default();
-        assert_eq!(c.rising_edges(VfMode::Sprint), vec![0, 2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(
+            c.rising_edges(VfMode::Sprint),
+            vec![0, 2, 4, 6, 8, 10, 12, 14, 16]
+        );
         assert_eq!(c.rising_edges(VfMode::Nominal), vec![0, 3, 6, 9, 12, 15]);
         assert_eq!(c.rising_edges(VfMode::Rest), vec![0, 9]);
     }
@@ -245,7 +248,10 @@ mod tests {
             let h = c.hyperperiod();
             for m in VfMode::ALL {
                 assert!(c.is_rising(m, 0));
-                assert!(c.is_rising(m, h), "{m} must tick at hyperperiod for {divs:?}");
+                assert!(
+                    c.is_rising(m, h),
+                    "{m} must tick at hyperperiod for {divs:?}"
+                );
             }
         }
     }

@@ -53,7 +53,11 @@ impl fmt::Display for CrossingReport {
             self.total_edges,
             self.worst_margin,
             self.budget,
-            if self.timing_clean { "clean" } else { "VIOLATION" }
+            if self.timing_clean {
+                "clean"
+            } else {
+                "VIOLATION"
+            }
         )
     }
 }
@@ -89,7 +93,11 @@ impl fmt::Display for StaReport {
             f,
             "suppressed {:.0}% of capture edges; {}",
             100.0 * self.suppression_fraction(),
-            if self.all_clean() { "all crossings clean" } else { "VIOLATIONS PRESENT" }
+            if self.all_clean() {
+                "all crossings clean"
+            } else {
+                "VIOLATIONS PRESENT"
+            }
         )
     }
 }

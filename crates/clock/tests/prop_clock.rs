@@ -1,76 +1,91 @@
 //! Property tests over the ratiochronous clocking substrate.
 
-use proptest::prelude::*;
 use uecgra_clock::{
     classify_crossing, sta, ClockDivider, ClockSet, ClockSwitcher, Suppressor, VfMode,
 };
+use uecgra_util::{check::forall, SplitMix64};
 
-fn arb_clockset() -> impl Strategy<Value = ClockSet> {
-    (1u32..6, 1u32..5, 1u32..5).prop_map(|(sprint, nm, rm)| {
-        let nominal = sprint * nm;
-        let rest = nominal * rm;
-        ClockSet::new([rest, nominal, sprint]).expect("ordered")
-    })
+/// A random valid clock plan: rest and nominal periods are integer
+/// multiples of the sprint period.
+fn arb_clockset(rng: &mut SplitMix64) -> ClockSet {
+    let sprint = 1 + rng.range(5) as u32;
+    let nominal = sprint * (1 + rng.range(4) as u32);
+    let rest = nominal * (1 + rng.range(4) as u32);
+    ClockSet::new([rest, nominal, sprint]).expect("ordered")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn hyperperiod_is_common_multiple(clocks in arb_clockset()) {
+#[test]
+fn hyperperiod_is_common_multiple() {
+    forall(96, |rng| {
+        let clocks = arb_clockset(rng);
         let h = clocks.hyperperiod();
         for m in VfMode::ALL {
-            prop_assert_eq!(h % clocks.period(m), 0);
-            prop_assert!(clocks.is_rising(m, 0));
-            prop_assert!(clocks.is_rising(m, h));
+            assert_eq!(h % clocks.period(m), 0);
+            assert!(clocks.is_rising(m, 0));
+            assert!(clocks.is_rising(m, h));
         }
-    }
+    });
+}
 
-    #[test]
-    fn next_and_last_rising_bracket_time(clocks in arb_clockset(), t in 0u64..200) {
+#[test]
+fn next_and_last_rising_bracket_time() {
+    forall(96, |rng| {
+        let clocks = arb_clockset(rng);
+        let t = rng.range_u64(0, 200);
         for m in VfMode::ALL {
             let last = clocks.last_rising(m, t);
             let next = clocks.next_rising(m, t);
-            prop_assert!(last <= t && t < next);
-            prop_assert_eq!(next - last, clocks.period(m));
-            prop_assert!(clocks.is_rising(m, last));
-            prop_assert!(clocks.is_rising(m, next));
+            assert!(last <= t && t < next);
+            assert_eq!(next - last, clocks.period(m));
+            assert!(clocks.is_rising(m, last));
+            assert!(clocks.is_rising(m, next));
         }
-    }
+    });
+}
 
-    #[test]
-    fn dividers_always_hold_fifty_percent_duty(div in 1u32..16) {
+#[test]
+fn dividers_always_hold_fifty_percent_duty() {
+    for div in 1u32..16 {
         let d = ClockDivider::new(div);
         let period = 2 * u64::from(div);
         let high = (0..period * 8).filter(|&t| d.level_at(t)).count() as u64;
-        prop_assert_eq!(high * 2, period * 8);
+        assert_eq!(high * 2, period * 8);
     }
+}
 
-    #[test]
-    fn classify_margins_never_exceed_source_period_plus_budget(clocks in arb_clockset()) {
+#[test]
+fn classify_margins_never_exceed_source_period_plus_budget() {
+    forall(96, |rng| {
+        let clocks = arb_clockset(rng);
         for src in VfMode::ALL {
             for dst in VfMode::ALL {
                 for e in classify_crossing(&clocks, src, dst) {
-                    prop_assert!(e.margin >= 1);
-                    prop_assert!(
+                    assert!(e.margin >= 1);
+                    assert!(
                         e.margin <= clocks.period(src) + clocks.period(dst),
                         "{src}->{dst}: margin {} too large",
                         e.margin
                     );
-                    prop_assert_eq!(e.safe, e.margin >= clocks.period(dst));
+                    assert_eq!(e.safe, e.margin >= clocks.period(dst));
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn sta_is_clean_for_every_plan(clocks in arb_clockset()) {
+#[test]
+fn sta_is_clean_for_every_plan() {
+    forall(96, |rng| {
+        let clocks = arb_clockset(rng);
         let report = sta::verify_all(&clocks);
-        prop_assert!(report.all_clean(), "{}", report);
-    }
+        assert!(report.all_clean(), "{report}");
+    });
+}
 
-    #[test]
-    fn suppressor_never_allows_under_aged_unsafe_tokens(clocks in arb_clockset()) {
+#[test]
+fn suppressor_never_allows_under_aged_unsafe_tokens() {
+    forall(96, |rng| {
+        let clocks = arb_clockset(rng);
         for src in VfMode::ALL {
             for dst in VfMode::ALL {
                 let sup = Suppressor::new(&clocks, src, dst);
@@ -83,23 +98,25 @@ proptest! {
                     let aged = capture - written >= clocks.period(dst);
                     let d = sup.decide(capture, written);
                     if d.allow {
-                        prop_assert!(
+                        assert!(
                             aged || !d.edge_unsafe,
                             "{src}->{dst}@{capture}: fresh token crossed an unsafe edge"
                         );
                     } else {
-                        prop_assert!(!aged, "{src}->{dst}@{capture}: aged token blocked");
+                        assert!(!aged, "{src}->{dst}@{capture}: aged token blocked");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn switcher_never_glitches_under_random_sequences(
-        selections in proptest::collection::vec(0usize..3, 1..6),
-        gaps in proptest::collection::vec(4u32..40, 6),
-    ) {
+#[test]
+fn switcher_never_glitches_under_random_sequences() {
+    forall(96, |rng| {
+        let n_sel = 1 + rng.range(5);
+        let selections: Vec<usize> = (0..n_sel).map(|_| rng.range(3)).collect();
+        let gaps: Vec<u32> = (0..6).map(|_| 4 + rng.range(36) as u32).collect();
         let clocks = ClockSet::default();
         let mut sw = ClockSwitcher::new(&clocks, VfMode::Nominal);
         let mut wave = Vec::new();
@@ -115,7 +132,7 @@ proptest! {
         let (highs, lows) = uecgra_clock::switcher::pulse_widths(&wave);
         // The narrowest legal pulse is the sprint half-period (2 half
         // ticks).
-        prop_assert!(highs.iter().all(|&w| w >= 2), "runt high: {highs:?}");
-        prop_assert!(lows.iter().all(|&w| w >= 2), "runt low: {lows:?}");
-    }
+        assert!(highs.iter().all(|&w| w >= 2), "runt high: {highs:?}");
+        assert!(lows.iter().all(|&w| w >= 2), "runt low: {lows:?}");
+    });
 }

@@ -146,9 +146,7 @@ impl PeConfig {
     pub fn pack(&self) -> u64 {
         let opcode: u64 = match self.role {
             PeRole::Gated => 0,
-            PeRole::Compute(op) => {
-                1 + PE_OPS.iter().position(|&o| o == op).expect("PE op") as u64
-            }
+            PeRole::Compute(op) => 1 + PE_OPS.iter().position(|&o| o == op).expect("PE op") as u64,
             PeRole::RouteOnly => 22,
         };
         let mut w = opcode;
@@ -361,7 +359,8 @@ impl Bitstream {
                 for dir in Dir::ALL {
                     let drivers = cfg.alu_true_mask[dir as usize] as u32
                         + cfg.alu_false_mask[dir as usize] as u32
-                        + cfg.bypass
+                        + cfg
+                            .bypass
                             .iter()
                             .flatten()
                             .filter(|b| b.dst_mask[dir as usize])

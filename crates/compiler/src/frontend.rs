@@ -380,7 +380,11 @@ pub fn lower(l: &LoopNest) -> Result<LoweredLoop, IrError> {
 
     // Induction recurrence: phi -> add -> lt -> br -> phi.
     let phi_i = lw.dfg.add_node(Op::Phi, &l.var).init(0).id();
-    let add_i = lw.dfg.add_node(Op::Add, format!("{}+1", l.var)).constant(1).id();
+    let add_i = lw
+        .dfg
+        .add_node(Op::Add, format!("{}+1", l.var))
+        .constant(1)
+        .id();
     let lt = lw
         .dfg
         .add_node(Op::Lt, format!("{}<N", l.var))
@@ -428,10 +432,7 @@ pub fn lower(l: &LoopNest) -> Result<LoweredLoop, IrError> {
                 Operand::Node(imm, 0)
             }
         };
-        let gate = lw
-            .dfg
-            .add_node(Op::Br, format!("br_{}", c.name))
-            .id();
+        let gate = lw.dfg.add_node(Op::Br, format!("br_{}", c.name)).id();
         lw.connect(def, gate, 0);
         lw.dfg.connect_ports(lt, 0, gate, 1);
         lw.dfg.connect_ports(gate, 0, phi, 1);
@@ -478,7 +479,10 @@ mod tests {
                 init: 0,
             }],
             body: vec![
-                Stmt::assign("acc", Expr::add(Expr::var("acc"), Expr::load(Expr::var("i")))),
+                Stmt::assign(
+                    "acc",
+                    Expr::add(Expr::var("acc"), Expr::load(Expr::var("i"))),
+                ),
                 Stmt::Store {
                     addr: Expr::add(Expr::var("i"), Expr::Const(16)),
                     value: Expr::var("acc"),
@@ -523,7 +527,10 @@ mod tests {
                     cond: Expr::bin(Op::Gt, Expr::var("out"), Expr::Const(127)),
                     then_arm: vec![
                         Stmt::assign("pixel", Expr::Const(255)),
-                        Stmt::assign("err", Expr::bin(Op::Sub, Expr::var("out"), Expr::Const(255))),
+                        Stmt::assign(
+                            "err",
+                            Expr::bin(Op::Sub, Expr::var("out"), Expr::Const(255)),
+                        ),
                     ],
                     else_arm: vec![
                         Stmt::assign("pixel", Expr::Const(0)),
@@ -540,7 +547,11 @@ mod tests {
         // Run on the same memory image the hand-built kernel uses.
         let k = dither::build_with_pixels(n);
         let out = simulate(&lowered, k.mem.clone());
-        assert_eq!(out, dither::reference(&k.mem, n), "IR-lowered dither diverges");
+        assert_eq!(
+            out,
+            dither::reference(&k.mem, n),
+            "IR-lowered dither diverges"
+        );
     }
 
     #[test]
@@ -549,19 +560,17 @@ mod tests {
             var: "i".into(),
             trip_count: 4,
             carried: vec![],
-            body: vec![
-                Stmt::If {
-                    cond: Expr::Const(1),
-                    then_arm: vec![Stmt::Store {
-                        addr: Expr::add(Expr::var("i"), Expr::Const(8)),
-                        value: Expr::var("i"),
-                    }],
-                    else_arm: vec![Stmt::Store {
-                        addr: Expr::add(Expr::var("i"), Expr::Const(16)),
-                        value: Expr::var("i"),
-                    }],
-                },
-            ],
+            body: vec![Stmt::If {
+                cond: Expr::Const(1),
+                then_arm: vec![Stmt::Store {
+                    addr: Expr::add(Expr::var("i"), Expr::Const(8)),
+                    value: Expr::var("i"),
+                }],
+                else_arm: vec![Stmt::Store {
+                    addr: Expr::add(Expr::var("i"), Expr::Const(16)),
+                    value: Expr::var("i"),
+                }],
+            }],
         };
         let lowered = lower(&l).unwrap();
         let out = simulate(&lowered, vec![0; 32]);
@@ -595,11 +604,7 @@ mod tests {
         };
         let lowered = lower(&l).unwrap();
         // No add node materialized for 3+4.
-        let adds = lowered
-            .dfg
-            .nodes()
-            .filter(|(_, n)| n.op == Op::Add)
-            .count();
+        let adds = lowered.dfg.nodes().filter(|(_, n)| n.op == Op::Add).count();
         assert_eq!(adds, 2, "only i+1 and i+8 remain");
         let out = simulate(&lowered, vec![0; 16]);
         for i in 0..4u32 {

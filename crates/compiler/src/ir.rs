@@ -253,8 +253,10 @@ mod tests {
     #[test]
     fn undefined_variable_is_rejected() {
         let mut l = simple_loop();
-        l.body
-            .push(Stmt::assign("x", Expr::add(Expr::var("ghost"), Expr::Const(1))));
+        l.body.push(Stmt::assign(
+            "x",
+            Expr::add(Expr::var("ghost"), Expr::Const(1)),
+        ));
         assert_eq!(l.validate(), Err(IrError::UndefinedVar("ghost".into())));
     }
 

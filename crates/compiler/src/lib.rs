@@ -22,13 +22,11 @@ pub mod opt;
 pub mod parse;
 pub mod power_map;
 
+pub use bitstream::{Bitstream, PeConfig, PeRole};
 pub use frontend::{lower, LoweredLoop};
+pub use interp::{interpret, interpret_fresh, InterpError};
 pub use ir::{Carried, Expr, IrError, LoopNest, Stmt};
 pub use mapping::{ArrayShape, MapError, MappedKernel};
-pub use parse::{parse, ParseError, Program};
-pub use bitstream::{Bitstream, PeConfig, PeRole};
-pub use interp::{interpret, interpret_fresh, InterpError};
 pub use opt::{optimize, Optimized};
-pub use power_map::{
-    power_map, power_map_routed, power_map_slack, Objective, PowerMapping,
-};
+pub use parse::{parse, ParseError, Program};
+pub use power_map::{power_map, power_map_routed, power_map_slack, Objective, PowerMapping};

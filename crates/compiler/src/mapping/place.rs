@@ -7,10 +7,9 @@
 //! hold the SRAM banks. Deterministic for a given seed.
 
 use super::{ArrayShape, Coord, MapError};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use uecgra_dfg::analysis::TopoOrder;
 use uecgra_dfg::{Dfg, NodeId};
+use uecgra_util::SplitMix64;
 
 /// A placement: node → PE coordinate (pseudo-ops are off-fabric).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,12 +39,12 @@ impl Placement {
     /// Total Manhattan wirelength of all on-fabric edges.
     pub fn wirelength(&self, dfg: &Dfg) -> usize {
         dfg.edges()
-            .filter_map(|(_, e)| {
-                match (self.coords[e.src.index()], self.coords[e.dst.index()]) {
+            .filter_map(
+                |(_, e)| match (self.coords[e.src.index()], self.coords[e.dst.index()]) {
                     (Some(a), Some(b)) => Some(ArrayShape::manhattan(a, b)),
                     _ => None,
-                }
-            })
+                },
+            )
             .sum()
     }
 }
@@ -94,8 +93,7 @@ pub fn place(dfg: &Dfg, shape: ArrayShape, seed: u64) -> Result<Placement, MapEr
             .filter_map(|m| coords[m.index()])
             .collect();
         let legal = |c: Coord| {
-            !occupied[c.1][c.0]
-                && (!dfg.node(node).op.is_memory() || shape.is_memory_row(c))
+            !occupied[c.1][c.0] && (!dfg.node(node).op.is_memory() || shape.is_memory_row(c))
         };
         let best = shape
             .coords()
@@ -119,16 +117,13 @@ pub fn place(dfg: &Dfg, shape: ArrayShape, seed: u64) -> Result<Placement, MapEr
 
     // Simulated-annealing refinement.
     let mut placement = Placement { coords };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut cost = placement.wirelength(dfg) as f64;
     let mut temperature = 2.0;
     let sweeps = 4000;
     for _ in 0..sweeps {
-        let i = fabric_nodes[rng.random_range(0..fabric_nodes.len())];
-        let target: Coord = (
-            rng.random_range(0..shape.width),
-            rng.random_range(0..shape.height),
-        );
+        let i = fabric_nodes[rng.range(fabric_nodes.len())];
+        let target: Coord = (rng.range(shape.width), rng.range(shape.height));
         if !move_is_legal(dfg, shape, &placement, i, target) {
             temperature *= 0.999;
             continue;
@@ -137,7 +132,7 @@ pub fn place(dfg: &Dfg, shape: ArrayShape, seed: u64) -> Result<Placement, MapEr
         apply_move(&mut placement, i, target);
         let new_cost = placement.wirelength(dfg) as f64;
         let delta = new_cost - cost;
-        if delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp() {
+        if delta <= 0.0 || rng.f64() < (-delta / temperature).exp() {
             cost = new_cost;
         } else {
             placement = old;

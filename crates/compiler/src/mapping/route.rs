@@ -191,7 +191,11 @@ pub fn route_all(
         }
 
         if !usage.overused() {
-            return Ok(finish(dfg, placement, built.into_iter().flatten().collect()));
+            return Ok(finish(
+                dfg,
+                placement,
+                built.into_iter().flatten().collect(),
+            ));
         }
 
         for (&link, &u) in &usage.links {

@@ -125,9 +125,7 @@ pub fn optimize(dfg: &Dfg) -> Optimized {
     let cse = common_subexpression(dfg);
     let dce = eliminate_dead(&cse.dfg);
     let node_map = (0..dfg.node_count())
-        .map(|i| {
-            cse.node_map[i].and_then(|mid| dce.node_map[mid.index()])
-        })
+        .map(|i| cse.node_map[i].and_then(|mid| dce.node_map[mid.index()]))
         .collect();
     Optimized {
         dfg: dce.dfg,
@@ -160,9 +158,7 @@ fn rebuild(dfg: &Dfg, mut target: impl FnMut(usize) -> Option<usize>) -> Optimiz
         new_id[i] = Some(b.id());
     }
     // Forward mapping for merged nodes.
-    let node_map: Vec<Option<NodeId>> = (0..n)
-        .map(|i| reps[i].and_then(|r| new_id[r]))
-        .collect();
+    let node_map: Vec<Option<NodeId>> = (0..n).map(|i| reps[i].and_then(|r| new_id[r])).collect();
 
     let mut seen_edges: HashSet<(NodeId, u8, NodeId, u8)> = HashSet::new();
     for (_, e) in dfg.edges() {

@@ -492,12 +492,7 @@ fn indent(out: &mut String, level: usize) {
     }
 }
 
-fn unparse_stmts(
-    out: &mut String,
-    arrays: &HashMap<String, u32>,
-    stmts: &[Stmt],
-    level: usize,
-) {
+fn unparse_stmts(out: &mut String, arrays: &HashMap<String, u32>, stmts: &[Stmt], level: usize) {
     use std::fmt::Write as _;
     for s in stmts {
         indent(out, level);

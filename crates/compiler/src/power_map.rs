@@ -73,12 +73,7 @@ impl PowerMapping {
 ///
 /// `mem` and `marker` parameterize the `MeasureEnergyDelay` estimator
 /// (the DFG's scratchpad image and iteration-counting node).
-pub fn power_map(
-    dfg: &Dfg,
-    mem: Vec<u32>,
-    marker: NodeId,
-    objective: Objective,
-) -> PowerMapping {
+pub fn power_map(dfg: &Dfg, mem: Vec<u32>, marker: NodeId, objective: Objective) -> PowerMapping {
     power_map_routed(dfg, mem, marker, objective, &[])
 }
 
@@ -96,8 +91,8 @@ pub fn power_map_routed(
     objective: Objective,
     edge_extra_hops: &[u32],
 ) -> PowerMapping {
-    let estimator = EnergyDelayEstimator::new(dfg, mem, marker)
-        .with_edge_latency(edge_extra_hops.to_vec());
+    let estimator =
+        EnergyDelayEstimator::new(dfg, mem, marker).with_edge_latency(edge_extra_hops.to_vec());
     let baseline = estimator.measure(&vec![VfMode::Nominal; dfg.node_count()]);
 
     // Phase 1: complexity reduction.
@@ -122,7 +117,12 @@ pub fn power_map_routed(
             .iter()
             .map(|&n| {
                 let op = dfg.node(n).op;
-                op.alpha() + if op.is_memory() { params.alpha_sram } else { 0.0 }
+                op.alpha()
+                    + if op.is_memory() {
+                        params.alpha_sram
+                    } else {
+                        0.0
+                    }
             })
             .sum()
     };
@@ -148,8 +148,7 @@ pub fn power_map_routed(
     };
 
     let seed = objective.seed();
-    let mut group_modes: HashMap<usize, VfMode> =
-        groups.iter().map(|&g| (g, seed)).collect();
+    let mut group_modes: HashMap<usize, VfMode> = groups.iter().map(|&g| (g, seed)).collect();
     let mut best = estimator.measure(&expand(&group_modes));
 
     for &g in &ordered {
@@ -384,7 +383,13 @@ pub fn power_map_slack(
     // Buffer-boundedness check: compare against the rest-free variant.
     let no_rest: Vec<VfMode> = modes
         .iter()
-        .map(|&m| if m == VfMode::Rest { VfMode::Nominal } else { m })
+        .map(|&m| {
+            if m == VfMode::Rest {
+                VfMode::Nominal
+            } else {
+                m
+            }
+        })
         .collect();
     if modes == no_rest {
         return modes;
@@ -437,12 +442,7 @@ mod tests {
     fn popt_on_llist_matches_paper_band() {
         // Paper Table II: llist POpt = 1.49x perf at 1.09x efficiency.
         let k = kernels::llist::build_with_hops(200);
-        let pm = power_map(
-            &k.dfg,
-            k.mem.clone(),
-            k.iter_marker,
-            Objective::Performance,
-        );
+        let pm = power_map(&k.dfg, k.mem.clone(), k.iter_marker, Objective::Performance);
         assert!(
             pm.speedup() > 1.35 && pm.speedup() <= 1.55,
             "llist POpt speedup {}",
@@ -477,8 +477,7 @@ mod tests {
     #[test]
     fn constrain_folded_unifies_conflicts() {
         let toy = synthetic::fig2_toy();
-        let estimator =
-            EnergyDelayEstimator::new(&toy.dfg, vec![0; 2048], toy.iter_marker);
+        let estimator = EnergyDelayEstimator::new(&toy.dfg, vec![0; 2048], toy.iter_marker);
         let mut modes = vec![VfMode::Nominal; toy.dfg.node_count()];
         modes[toy.cycle[0].index()] = VfMode::Sprint;
         // Fold a sprint node and a nominal node onto one PE.

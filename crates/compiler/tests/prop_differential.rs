@@ -4,36 +4,41 @@
 //! lowering (including if-to-br/phi conversion and constant
 //! materialization) is semantics-preserving.
 
-use proptest::prelude::*;
 use uecgra_clock::VfMode;
 use uecgra_compiler::frontend::lower;
 use uecgra_compiler::interp::interpret_fresh;
 use uecgra_compiler::ir::{Carried, Expr, LoopNest, Stmt};
 use uecgra_dfg::Op;
 use uecgra_model::{DfgSimulator, SimConfig, StopReason};
+use uecgra_util::{check::forall, SplitMix64};
 
 include!("common/gen_loop.rs");
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_choices(rng: &mut SplitMix64) -> Vec<u32> {
+    (0..64).map(|_| rng.next_u32()).collect()
+}
 
-    #[test]
-    fn lowering_matches_interpreter(
-        trip in 1u32..12,
-        carried in any::<bool>(),
-        choices in proptest::collection::vec(any::<u32>(), 64),
-        mem_seed in any::<u32>(),
-    ) {
-        let nest = gen_loop(trip, carried, choices);
-        prop_assume!(nest.validate().is_ok());
+/// Deterministic pseudo-random initial memory.
+fn arb_memory(mem_seed: u32) -> Vec<u32> {
+    let mut mem = vec![0u32; MEM_WORDS];
+    let mut state = mem_seed | 1;
+    for w in mem.iter_mut() {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        *w = state % 1000;
+    }
+    mem
+}
 
-        // Deterministic pseudo-random initial memory.
-        let mut mem = vec![0u32; MEM_WORDS];
-        let mut state = mem_seed | 1;
-        for w in mem.iter_mut() {
-            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-            *w = state % 1000;
+#[test]
+fn lowering_matches_interpreter() {
+    forall(48, |rng| {
+        let trip = 1 + rng.next_u32() % 11;
+        let carried = rng.bool();
+        let nest = gen_loop(trip, carried, arb_choices(rng));
+        if nest.validate().is_err() {
+            return;
         }
+        let mem = arb_memory(rng.next_u32());
 
         let expected = interpret_fresh(&nest, &mem).expect("interpreter runs");
 
@@ -44,20 +49,22 @@ proptest! {
         };
         let modes = vec![VfMode::Nominal; lowered.dfg.node_count()];
         let r = DfgSimulator::new(&lowered.dfg, modes, mem, config).run();
-        prop_assert_eq!(r.stop, StopReason::Quiesced, "lowered graph must terminate");
-        prop_assert_eq!(r.mem, expected, "lowering changed semantics");
-    }
+        assert_eq!(r.stop, StopReason::Quiesced, "lowered graph must terminate");
+        assert_eq!(r.mem, expected, "lowering changed semantics");
+    });
+}
 
-    /// The same differential under random DVFS assignments: mode
-    /// choices must never change results.
-    #[test]
-    fn lowering_matches_interpreter_under_dvfs(
-        trip in 1u32..8,
-        choices in proptest::collection::vec(any::<u32>(), 64),
-        mode_picks in proptest::collection::vec(0usize..3, 64),
-    ) {
-        let nest = gen_loop(trip, true, choices);
-        prop_assume!(nest.validate().is_ok());
+/// The same differential under random DVFS assignments: mode
+/// choices must never change results.
+#[test]
+fn lowering_matches_interpreter_under_dvfs() {
+    forall(48, |rng| {
+        let trip = 1 + rng.next_u32() % 7;
+        let nest = gen_loop(trip, true, arb_choices(rng));
+        if nest.validate().is_err() {
+            return;
+        }
+        let mode_picks: Vec<usize> = (0..64).map(|_| rng.range(3)).collect();
         let mem = vec![7u32; MEM_WORDS];
         let expected = interpret_fresh(&nest, &mem).expect("interpreter runs");
 
@@ -70,43 +77,35 @@ proptest! {
             ..SimConfig::default()
         };
         let r = DfgSimulator::new(&lowered.dfg, modes, mem, config).run();
-        prop_assert_eq!(r.stop, StopReason::Quiesced);
-        prop_assert_eq!(r.mem, expected);
-    }
+        assert_eq!(r.stop, StopReason::Quiesced);
+        assert_eq!(r.mem, expected);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The optimizer (CSE + DCE) preserves semantics end to end.
-    #[test]
-    fn optimizer_preserves_semantics(
-        trip in 1u32..10,
-        carried in any::<bool>(),
-        choices in proptest::collection::vec(any::<u32>(), 64),
-        mem_seed in any::<u32>(),
-    ) {
-        let nest = gen_loop(trip, carried, choices);
-        prop_assume!(nest.validate().is_ok());
-        let mut mem = vec![0u32; MEM_WORDS];
-        let mut state = mem_seed | 1;
-        for w in mem.iter_mut() {
-            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-            *w = state % 1000;
+/// The optimizer (CSE + DCE) preserves semantics end to end.
+#[test]
+fn optimizer_preserves_semantics() {
+    forall(32, |rng| {
+        let trip = 1 + rng.next_u32() % 9;
+        let carried = rng.bool();
+        let nest = gen_loop(trip, carried, arb_choices(rng));
+        if nest.validate().is_err() {
+            return;
         }
+        let mem = arb_memory(rng.next_u32());
         let expected = interpret_fresh(&nest, &mem).expect("interpreter runs");
 
         let lowered = lower(&nest).expect("lowering succeeds");
         let optimized = uecgra_compiler::opt::optimize(&lowered.dfg);
-        prop_assert!(
+        assert!(
             optimized.dfg.node_count() <= lowered.dfg.node_count(),
             "optimization never grows the graph"
         );
         let Some(marker) = optimized.node_map[lowered.induction_phi.index()] else {
             // The whole loop was dead (no stores reachable): legal only
             // when the program writes nothing.
-            prop_assert_eq!(mem, expected, "DCE removed live effects");
-            return Ok(());
+            assert_eq!(mem, expected, "DCE removed live effects");
+            return;
         };
         let config = SimConfig {
             marker: Some(marker),
@@ -114,25 +113,23 @@ proptest! {
         };
         let modes = vec![VfMode::Nominal; optimized.dfg.node_count()];
         let r = DfgSimulator::new(&optimized.dfg, modes, mem, config).run();
-        prop_assert_eq!(r.stop, StopReason::Quiesced);
-        prop_assert_eq!(r.mem, expected, "optimizer changed semantics");
-    }
+        assert_eq!(r.stop, StopReason::Quiesced);
+        assert_eq!(r.mem, expected, "optimizer changed semantics");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Source-text round trip: unparse then parse reproduces the loop.
-    #[test]
-    fn unparse_parse_roundtrip(
-        trip in 1u32..20,
-        carried in any::<bool>(),
-        choices in proptest::collection::vec(any::<u32>(), 64),
-    ) {
-        use uecgra_compiler::parse::{parse, unparse, Program};
+/// Source-text round trip: unparse then parse reproduces the loop.
+#[test]
+fn unparse_parse_roundtrip() {
+    forall(48, |rng| {
         use std::collections::HashMap;
-        let nest = gen_loop(trip, carried, choices);
-        prop_assume!(nest.validate().is_ok());
+        use uecgra_compiler::parse::{parse, unparse, Program};
+        let trip = 1 + rng.next_u32() % 19;
+        let carried = rng.bool();
+        let nest = gen_loop(trip, carried, arb_choices(rng));
+        if nest.validate().is_err() {
+            return;
+        }
         let program = Program {
             arrays: HashMap::new(),
             nest,
@@ -148,6 +145,6 @@ proptest! {
         let mem = vec![3u32; 160];
         let a = interpret_fresh(&program.nest, &mem).expect("original runs");
         let b = interpret_fresh(&reparsed.nest, &mem).expect("reparsed runs");
-        prop_assert_eq!(a, b, "round trip changed semantics");
-    }
+        assert_eq!(a, b, "round trip changed semantics");
+    });
 }

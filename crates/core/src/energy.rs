@@ -113,8 +113,7 @@ pub fn cgra_energy(run: &CgraRun, gating: GatingConfig) -> CgraEnergy {
     let grid = clock_grid(run);
     let clock = clock_power(kind, &ClockPowerParams::default(), &grid, gating);
     let runtime_ns = run.runtime_ns();
-    let clock_pj =
-        (clock.total_clock_mw() + clock.idle_logic_mw + clock.leakage_mw) * runtime_ns;
+    let clock_pj = (clock.total_clock_mw() + clock.idle_logic_mw + clock.leakage_mw) * runtime_ns;
 
     CgraEnergy {
         pe_logic_pj,
@@ -203,8 +202,7 @@ mod tests {
     fn global_scaling_trades_axes() {
         let run = dither_run(Policy::ECgra);
         // Full-fabric rest: slower but more efficient.
-        let (perf_r, eff_r) =
-            global_scale_point(&run, GatingConfig::FULL, 0.61, 1.0 / 3.0);
+        let (perf_r, eff_r) = global_scale_point(&run, GatingConfig::FULL, 0.61, 1.0 / 3.0);
         assert!(perf_r < 0.5 && eff_r > 1.5, "rest: {perf_r}, {eff_r}");
         // Full-fabric sprint: faster but less efficient.
         let (perf_s, eff_s) = global_scale_point(&run, GatingConfig::FULL, 1.23, 1.5);

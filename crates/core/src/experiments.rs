@@ -5,7 +5,7 @@
 //! measured-versus-published comparison.
 
 use crate::energy::{cgra_energy, global_scale_point, CgraEnergy};
-use crate::pipeline::{run_kernel, CgraRun, PipelineError, Policy};
+use crate::pipeline::{CgraRun, PipelineError, Policy};
 use uecgra_clock::VfMode;
 use uecgra_dfg::{Kernel, NodeId};
 use uecgra_rtl::config_load;
@@ -44,18 +44,42 @@ pub struct KernelRuns {
     pub popt: CgraRun,
 }
 
-/// Run all three policies on one kernel.
+/// Run all three policies on one kernel, one worker per policy.
 ///
 /// # Errors
 ///
 /// Propagates pipeline failures.
 pub fn run_all_policies(kernel: &Kernel, seed: u64) -> Result<KernelRuns, PipelineError> {
-    Ok(KernelRuns {
-        kernel: kernel.clone(),
-        e: run_kernel(kernel, Policy::ECgra, seed)?,
-        eopt: run_kernel(kernel, Policy::UeEnergyOpt, seed)?,
-        popt: run_kernel(kernel, Policy::UePerfOpt, seed)?,
-    })
+    run_all_policies_many(std::slice::from_ref(kernel), seed).map(|mut v| v.remove(0))
+}
+
+/// Run all three policies on every kernel, fanning the whole
+/// kernel × policy grid out across worker threads
+/// ([`crate::pipeline::run_kernels_parallel`]). Results come back in
+/// kernel input order and are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure in grid order.
+pub fn run_all_policies_many(
+    kernels: &[Kernel],
+    seed: u64,
+) -> Result<Vec<KernelRuns>, PipelineError> {
+    let grid = crate::pipeline::run_kernels_parallel(kernels, seed);
+    kernels
+        .iter()
+        .zip(grid)
+        .map(|(kernel, runs)| {
+            // Policy::ALL order: E-CGRA, EOpt, POpt.
+            let mut runs = runs.into_iter();
+            Ok(KernelRuns {
+                kernel: kernel.clone(),
+                e: runs.next().expect("grid row")?,
+                eopt: runs.next().expect("grid row")?,
+                popt: runs.next().expect("grid row")?,
+            })
+        })
+        .collect()
 }
 
 impl KernelRuns {
@@ -81,10 +105,10 @@ impl KernelRuns {
 ///
 /// Propagates pipeline failures.
 pub fn table2(kernels: &[Kernel], seed: u64) -> Result<Vec<Table2Row>, PipelineError> {
-    kernels
+    Ok(run_all_policies_many(kernels, seed)?
         .iter()
-        .map(|k| Ok(run_all_policies(k, seed)?.table2_row()))
-        .collect()
+        .map(KernelRuns::table2_row)
+        .collect())
 }
 
 /// A point on the Figure 13 plane: performance and energy efficiency
@@ -176,7 +200,11 @@ pub fn table1(runs: &KernelRuns) -> Vec<Table1Row> {
     ];
     let mut rows = Vec::new();
     for (suffix, g) in gatings {
-        rows.push(table1_row(format!("E-CGRA {suffix}").trim().into(), &runs.e, g));
+        rows.push(table1_row(
+            format!("E-CGRA {suffix}").trim().into(),
+            &runs.e,
+            g,
+        ));
     }
     for (name, run) in [("POpt", &runs.popt), ("EOpt", &runs.eopt)] {
         for (suffix, g) in gatings {
@@ -221,7 +249,11 @@ pub fn table3_row(runs: &KernelRuns) -> Table3Row {
     let k = &runs.kernel;
     let core = programs::run_on_core(k.name, k.iters, k.mem.clone())
         .expect("core programs are well-formed");
-    assert_eq!(core.mem, k.reference_memory(), "core result must be correct");
+    assert_eq!(
+        core.mem,
+        k.reference_memory(),
+        "core result must be correct"
+    );
     let core_e = core_energy_pj(&CoreEnergyParams::default(), &core.mix, core.cycles);
 
     let data_cycles = config_load::data_load_cycles(k.mem.len());
@@ -238,11 +270,7 @@ pub fn table3_row(runs: &KernelRuns) -> Table3Row {
             cfg_cycles: cfg,
             data_cycles,
         };
-        let perf = uecgra_system::system_speedup(
-            core.cycles,
-            run.activity.nominal_cycles(),
-            ov,
-        );
+        let perf = uecgra_system::system_speedup(core.cycles, run.activity.nominal_cycles(), ov);
         let energy = cgra_energy(run, GatingConfig::FULL);
         let eff = uecgra_system::system_efficiency(core_e, energy.total_pj());
         relative.push((policy, perf, eff));
@@ -349,12 +377,7 @@ mod tests {
             }
             // EOpt holds performance within ~15% (bf drops to 0.87 in
             // the paper).
-            assert!(
-                r.eopt_perf > 0.8,
-                "{}: EOpt perf {}",
-                r.kernel,
-                r.eopt_perf
-            );
+            assert!(r.eopt_perf > 0.8, "{}: EOpt perf {}", r.kernel, r.eopt_perf);
         }
         assert!(
             eopt_wins >= 3,

@@ -35,5 +35,13 @@ pub mod energy;
 pub mod experiments;
 pub mod pipeline;
 
+/// The deterministic parallel executor the evaluation harnesses use
+/// (re-exported from `uecgra-util` so downstream crates need only
+/// `uecgra-core`). `UECGRA_THREADS` overrides the worker count;
+/// results are index-addressed and bit-identical at any thread count.
+pub mod par {
+    pub use uecgra_util::par::{num_threads, par_map, par_map_slice, par_tabulate};
+}
+
 pub use energy::{cgra_energy, CgraEnergy};
-pub use pipeline::{run_kernel, CgraRun, PipelineError, Policy};
+pub use pipeline::{run_kernel, run_kernels_parallel, CgraRun, PipelineError, Policy};

@@ -127,26 +127,30 @@ pub fn run_kernel(kernel: &Kernel, policy: Policy, seed: u64) -> Result<CgraRun,
 
     let modes = match policy {
         Policy::ECgra => vec![VfMode::Nominal; kernel.dfg.node_count()],
-        Policy::UeEnergyOpt => power_map_routed(
-            &kernel.dfg,
-            kernel.mem.clone(),
-            kernel.iter_marker,
-            Objective::Energy,
-            &extra,
-        )
-        .node_modes,
-        Policy::UePerfOpt => power_map_routed(
-            &kernel.dfg,
-            kernel.mem.clone(),
-            kernel.iter_marker,
-            Objective::Performance,
-            &extra,
-        )
-        .node_modes,
+        Policy::UeEnergyOpt => {
+            power_map_routed(
+                &kernel.dfg,
+                kernel.mem.clone(),
+                kernel.iter_marker,
+                Objective::Energy,
+                &extra,
+            )
+            .node_modes
+        }
+        Policy::UePerfOpt => {
+            power_map_routed(
+                &kernel.dfg,
+                kernel.mem.clone(),
+                kernel.iter_marker,
+                Objective::Performance,
+                &extra,
+            )
+            .node_modes
+        }
     };
 
-    let bitstream = Bitstream::assemble(&kernel.dfg, &mapped, &modes)
-        .expect("routed mappings always assemble");
+    let bitstream =
+        Bitstream::assemble(&kernel.dfg, &mapped, &modes).expect("routed mappings always assemble");
     let config = FabricConfig {
         marker: Some(mapped.coord_of(kernel.iter_marker)),
         ..FabricConfig::default()
@@ -164,6 +168,37 @@ pub fn run_kernel(kernel: &Kernel, policy: Policy, seed: u64) -> Result<CgraRun,
         activity,
         iterations: kernel.iters as u64,
     })
+}
+
+/// Compile and execute every `(kernel, policy)` pair across worker
+/// threads, returning results grouped per kernel in input order
+/// (`result[k][p]` is kernel `k` under `Policy::ALL[p]`).
+///
+/// Each pair is an independent pure function of its inputs, so the
+/// fan-out uses [`uecgra_util::par`]: outputs land in index-addressed
+/// slots and are bit-identical for any `UECGRA_THREADS` setting.
+///
+/// # Errors
+///
+/// Each slot carries its own [`PipelineError`]; one failing pair does
+/// not abort the rest.
+pub fn run_kernels_parallel(
+    kernels: &[Kernel],
+    seed: u64,
+) -> Vec<Vec<Result<CgraRun, PipelineError>>> {
+    let n_pol = Policy::ALL.len();
+    let mut flat = uecgra_util::par_tabulate(kernels.len() * n_pol, |i| {
+        run_kernel(&kernels[i / n_pol], Policy::ALL[i % n_pol], seed)
+    })
+    .into_iter();
+    kernels
+        .iter()
+        .map(|_| {
+            (0..n_pol)
+                .map(|_| flat.next().expect("full grid"))
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -27,10 +27,21 @@ const ACCUMULATE: &str = "
 fn run_command_executes_and_dumps_memory() {
     let src = write_source("uecgra_cli_run.loop", ACCUMULATE);
     let out = Command::new(bin())
-        .args(["run", src.to_str().unwrap(), "--policy", "e", "--dump-mem", "128..136"])
+        .args([
+            "run",
+            src.to_str().unwrap(),
+            "--policy",
+            "e",
+            "--dump-mem",
+            "128..136",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ran 32 iterations"), "{stdout}");
     assert!(stdout.contains("128:"), "{stdout}");
@@ -54,15 +65,14 @@ fn vcd_flag_writes_a_waveform() {
     let src = write_source("uecgra_cli_vcd.loop", ACCUMULATE);
     let vcd = std::env::temp_dir().join("uecgra_cli_out.vcd");
     let out = Command::new(bin())
-        .args([
-            "run",
-            src.to_str().unwrap(),
-            "--vcd",
-            vcd.to_str().unwrap(),
-        ])
+        .args(["run", src.to_str().unwrap(), "--vcd", vcd.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let wave = std::fs::read_to_string(&vcd).expect("vcd written");
     assert!(wave.starts_with("$date"));
     assert!(wave.contains("$enddefinitions"));

@@ -1,0 +1,52 @@
+//! The executor's determinism contract, end to end: the same seed
+//! must produce bit-identical results whether the harness runs on one
+//! thread or eight.
+//!
+//! Everything lives in a single `#[test]` because the checks mutate
+//! the process-wide `UECGRA_THREADS` variable; separate tests in one
+//! binary would race on it.
+
+use uecgra_core::experiments::SEED;
+use uecgra_core::pipeline::run_kernels_parallel;
+use uecgra_dfg::kernels::{self, synthetic};
+use uecgra_model::sweep::{sweep_group_modes, SweepResult};
+
+fn fig3_sweep() -> SweepResult {
+    let cs = synthetic::fig3_case_study();
+    sweep_group_modes(&cs.dfg, vec![0; 4096], cs.iter_marker)
+}
+
+#[test]
+fn one_thread_and_eight_threads_are_bit_identical() {
+    std::env::set_var("UECGRA_THREADS", "1");
+    let sweep_serial = fig3_sweep();
+    let kernels = [
+        kernels::llist::build_with_hops(40),
+        kernels::dither::build_with_pixels(40),
+    ];
+    let runs_serial = run_kernels_parallel(&kernels, SEED);
+
+    std::env::set_var("UECGRA_THREADS", "8");
+    let sweep_par = fig3_sweep();
+    let runs_par = run_kernels_parallel(&kernels, SEED);
+    std::env::remove_var("UECGRA_THREADS");
+
+    // The full sweep — every point's modes, speedup, and efficiency —
+    // must match exactly, not approximately.
+    assert_eq!(
+        sweep_serial, sweep_par,
+        "sweep diverged across thread counts"
+    );
+    assert!(sweep_serial.points.len() >= 243, "sweep is non-trivial");
+
+    // Every kernel × policy run: identical Activity (fires, memory
+    // image, cycle counts — PartialEq covers all fields) and modes.
+    for (row_s, row_p) in runs_serial.iter().zip(&runs_par) {
+        for (r_s, r_p) in row_s.iter().zip(row_p) {
+            let (r_s, r_p) = (r_s.as_ref().unwrap(), r_p.as_ref().unwrap());
+            assert_eq!(r_s.activity, r_p.activity, "Activity diverged");
+            assert_eq!(r_s.modes, r_p.modes, "mode assignment diverged");
+            assert_eq!(r_s.bitstream.grid, r_p.bitstream.grid, "bitstream diverged");
+        }
+    }
+}

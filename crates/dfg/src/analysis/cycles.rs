@@ -78,7 +78,9 @@ fn enumerate_in_component(graph: &Dfg, comp: &[NodeId], out: &mut Vec<Cycle>) {
             let frame = iters.last_mut().expect("iter stack in sync with path");
             if let Some(next) = frame.pop() {
                 if next == start {
-                    out.push(Cycle { nodes: path.clone() });
+                    out.push(Cycle {
+                        nodes: path.clone(),
+                    });
                 } else if !on_path.contains(&next) {
                     path.push(next);
                     on_path.insert(next);

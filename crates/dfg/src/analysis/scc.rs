@@ -41,7 +41,10 @@ impl SccDecomposition {
             on_stack[root] = true;
 
             while let Some(&mut (v, ref mut child)) = call.last_mut() {
-                let succs: Vec<usize> = graph.successors(NodeId(v as u32)).map(|s| s.index()).collect();
+                let succs: Vec<usize> = graph
+                    .successors(NodeId(v as u32))
+                    .map(|s| s.index())
+                    .collect();
                 if *child < succs.len() {
                     let w = succs[*child];
                     *child += 1;
@@ -97,13 +100,13 @@ impl SccDecomposition {
 
     /// Components with more than one node, or a single node with a
     /// self-loop — i.e. the recurrence regions of the graph.
-    pub fn cyclic_components<'a>(&'a self, graph: &'a Dfg) -> impl Iterator<Item = &'a Vec<NodeId>> {
-        self.components.iter().filter(move |comp| {
-            comp.len() > 1
-                || graph
-                    .successors(comp[0])
-                    .any(|s| s == comp[0])
-        })
+    pub fn cyclic_components<'a>(
+        &'a self,
+        graph: &'a Dfg,
+    ) -> impl Iterator<Item = &'a Vec<NodeId>> {
+        self.components
+            .iter()
+            .filter(move |comp| comp.len() > 1 || graph.successors(comp[0]).any(|s| s == comp[0]))
     }
 
     /// True if `node` participates in any cycle.

@@ -157,7 +157,11 @@ mod tests {
         assert_eq!(depth[a.index()], 0);
         assert_eq!(depth[b.index()], 1);
         assert_eq!(depth[c.index()], 2);
-        assert_eq!(depth[d.index()], 3, "longest path wins over the short a->d edge");
+        assert_eq!(
+            depth[d.index()],
+            3,
+            "longest path wins over the short a->d edge"
+        );
     }
 
     #[test]

@@ -146,7 +146,10 @@ impl fmt::Display for GraphError {
                 write!(f, "multiple edges drive input port {port} of node {node}")
             }
             GraphError::MissingInput { node, port } => {
-                write!(f, "input port {port} of node {node} is undriven and has no constant")
+                write!(
+                    f,
+                    "input port {port} of node {node} is undriven and has no constant"
+                )
             }
             GraphError::InitOnNonPhi(n) => {
                 write!(f, "initial token configured on non-phi node {n}")
@@ -267,7 +270,13 @@ impl Dfg {
 
     /// Connect an explicit output port of `src` to an explicit input port
     /// of `dst`. Port validity is checked by [`Dfg::validate`].
-    pub fn connect_ports(&mut self, src: NodeId, src_port: u8, dst: NodeId, dst_port: u8) -> EdgeId {
+    pub fn connect_ports(
+        &mut self,
+        src: NodeId,
+        src_port: u8,
+        dst: NodeId,
+        dst_port: u8,
+    ) -> EdgeId {
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(Edge {
             src,

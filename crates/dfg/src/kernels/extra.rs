@@ -95,7 +95,11 @@ pub fn crc32(n: usize) -> Kernel {
     for (b, slot) in mem[CRC_TABLE_BASE as usize..][..256].iter_mut().enumerate() {
         let mut c = b as u32;
         for _ in 0..8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
         }
         *slot = c;
     }
@@ -364,7 +368,9 @@ mod tests {
     #[test]
     fn extension_kernels_validate_and_fit() {
         for k in extra_kernels(32) {
-            k.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            k.dfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
             assert!(k.dfg.pe_node_count() <= 64, "{}", k.name);
         }
     }

@@ -73,7 +73,9 @@ mod tests {
     #[test]
     fn all_kernels_validate() {
         for k in all_kernels() {
-            k.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            k.dfg
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
     }
 

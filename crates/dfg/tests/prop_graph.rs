@@ -1,57 +1,54 @@
 //! Property tests over graph construction and analyses.
 
-use proptest::prelude::*;
 use uecgra_dfg::analysis::{recurrence_mii, SccDecomposition, TopoOrder};
 use uecgra_dfg::transform::merge;
 use uecgra_dfg::{Dfg, Op};
+use uecgra_util::{check::forall, SplitMix64};
 
 /// Build a random DAG: `n` single-input nodes, each wired to a random
 /// earlier node (or a source).
-fn random_dag(n: usize, picks: &[usize]) -> Dfg {
+fn random_dag(rng: &mut SplitMix64) -> Dfg {
+    let n = 1 + rng.range(23);
     let mut g = Dfg::new();
     let src = g.add_node(Op::Source, "src").id();
     let mut ids = vec![src];
-    for (i, &p) in picks.iter().take(n).enumerate() {
+    for i in 0..n {
         let node = g.add_node(Op::Cp0, format!("n{i}")).id();
-        let parent = ids[p % ids.len()];
+        let parent = ids[rng.range(ids.len())];
         g.connect(parent, node);
         ids.push(node);
     }
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_dags_validate_and_topo_sort(
-        n in 1usize..24,
-        picks in proptest::collection::vec(0usize..1000, 24),
-    ) {
-        let g = random_dag(n, &picks);
+#[test]
+fn random_dags_validate_and_topo_sort() {
+    forall(64, |rng| {
+        let g = random_dag(rng);
         g.validate().unwrap();
         let topo = TopoOrder::compute(&g);
-        prop_assert_eq!(topo.order().len(), g.node_count());
-        prop_assert!(topo.excluded_edges().is_empty(), "DAGs need no back edges");
+        assert_eq!(topo.order().len(), g.node_count());
+        assert!(topo.excluded_edges().is_empty(), "DAGs need no back edges");
         for (_, e) in g.edges() {
-            prop_assert!(topo.rank(e.src) < topo.rank(e.dst));
+            assert!(topo.rank(e.src) < topo.rank(e.dst));
         }
-    }
+    });
+}
 
-    #[test]
-    fn dags_have_singleton_sccs_and_zero_mii(
-        n in 1usize..24,
-        picks in proptest::collection::vec(0usize..1000, 24),
-    ) {
-        let g = random_dag(n, &picks);
+#[test]
+fn dags_have_singleton_sccs_and_zero_mii() {
+    forall(64, |rng| {
+        let g = random_dag(rng);
         let scc = SccDecomposition::compute(&g);
-        prop_assert_eq!(scc.components().len(), g.node_count());
-        prop_assert_eq!(scc.cyclic_components(&g).count(), 0);
-        prop_assert_eq!(recurrence_mii(&g), 0.0);
-    }
+        assert_eq!(scc.components().len(), g.node_count());
+        assert_eq!(scc.cyclic_components(&g).count(), 0);
+        assert_eq!(recurrence_mii(&g), 0.0);
+    });
+}
 
-    #[test]
-    fn ring_mii_equals_length(len in 2usize..16) {
+#[test]
+fn ring_mii_equals_length() {
+    for len in 2usize..16 {
         let mut g = Dfg::new();
         let phi = g.add_node(Op::Phi, "phi").init(0).id();
         let mut prev = phi;
@@ -61,15 +58,16 @@ proptest! {
             prev = n;
         }
         g.connect(prev, phi);
-        prop_assert_eq!(recurrence_mii(&g) as usize, len);
+        assert_eq!(recurrence_mii(&g) as usize, len);
     }
+}
 
-    #[test]
-    fn merge_is_associative_in_counts(
-        a in 2usize..8,
-        b in 2usize..8,
-        c in 2usize..8,
-    ) {
+#[test]
+fn merge_is_associative_in_counts() {
+    forall(64, |rng| {
+        let a = 2 + rng.range(6);
+        let b = 2 + rng.range(6);
+        let c = 2 + rng.range(6);
         use uecgra_dfg::kernels::synthetic;
         let ga = synthetic::cycle_n(a);
         let gb = synthetic::chain(b);
@@ -77,26 +75,22 @@ proptest! {
         let (left, _) = merge(&[&ga.dfg, &gb.dfg]);
         let (left_all, _) = merge(&[&left, &gc.dfg]);
         let (right, _) = merge(&[&ga.dfg, &gb.dfg, &gc.dfg]);
-        prop_assert_eq!(left_all.node_count(), right.node_count());
-        prop_assert_eq!(left_all.edge_count(), right.edge_count());
+        assert_eq!(left_all.node_count(), right.node_count());
+        assert_eq!(left_all.edge_count(), right.edge_count());
         left_all.validate().unwrap();
         right.validate().unwrap();
         // Recurrence of the union is the max of the parts.
-        prop_assert_eq!(
-            recurrence_mii(&right) as usize,
-            a.max(c),
-        );
-    }
+        assert_eq!(recurrence_mii(&right) as usize, a.max(c));
+    });
+}
 
-    #[test]
-    fn dot_export_mentions_all_nodes(
-        n in 1usize..12,
-        picks in proptest::collection::vec(0usize..1000, 24),
-    ) {
-        let g = random_dag(n, &picks);
+#[test]
+fn dot_export_mentions_all_nodes() {
+    forall(64, |rng| {
+        let g = random_dag(rng);
         let dot = g.to_dot();
         for (id, _) in g.nodes() {
-            prop_assert!(dot.contains(&id.to_string()));
+            assert!(dot.contains(&id.to_string()));
         }
-    }
+    });
 }

@@ -228,8 +228,7 @@ mod tests {
         // Paper Section IV-D: resting to 0.61 V yields roughly 3× slower
         // frequency and ~7× dynamic power reduction (f × V² ≈ 6.5×).
         let p = ModelParams::default();
-        let power_ratio =
-            p.freq_multiplier(VfMode::Rest) * p.dynamic_scale(VfMode::Rest);
+        let power_ratio = p.freq_multiplier(VfMode::Rest) * p.dynamic_scale(VfMode::Rest);
         assert!(power_ratio < 1.0 / 6.0, "got {power_ratio}");
     }
 }

@@ -121,15 +121,13 @@ impl PowerModel {
             let active = result.fires[i] > 0;
             node_dynamic[i] = fires * node.op.alpha() * p.dynamic_scale(mode);
             if active {
-                node_static[i] =
-                    duration_cycles * leak_nominal_per_cycle * p.static_scale(mode);
+                node_static[i] = duration_cycles * leak_nominal_per_cycle * p.static_scale(mode);
             }
             if node.op.is_memory() {
                 sram_dynamic += fires * p.alpha_sram * p.dynamic_scale(mode);
                 if active {
-                    sram_static += duration_cycles
-                        * p.sram_leak_power_nominal()
-                        * p.static_scale(mode);
+                    sram_static +=
+                        duration_cycles * p.sram_leak_power_nominal() * p.static_scale(mode);
                 }
             }
         }
@@ -181,8 +179,7 @@ mod tests {
             max_marker_fires: Some(120),
             ..SimConfig::default()
         };
-        let result =
-            DfgSimulator::new(&toy.dfg, modes.clone(), vec![0; 256], config).run();
+        let result = DfgSimulator::new(&toy.dfg, modes.clone(), vec![0; 256], config).run();
         let ii = result.steady_ii(20).expect("steady state reached");
         let e = PowerModel::new(ModelParams::default())
             .energy(&toy.dfg, &modes, &result)
@@ -220,8 +217,14 @@ mod tests {
             }
             m
         });
-        assert!(ii_spr < ii_nom, "sprint must speed up ({ii_spr} vs {ii_nom})");
-        assert!(e_spr > e_nom, "sprint must cost energy ({e_spr} vs {e_nom})");
+        assert!(
+            ii_spr < ii_nom,
+            "sprint must speed up ({ii_spr} vs {ii_nom})"
+        );
+        assert!(
+            e_spr > e_nom,
+            "sprint must cost energy ({e_spr} vs {e_nom})"
+        );
     }
 
     #[test]
@@ -233,13 +236,11 @@ mod tests {
             max_marker_fires: Some(30),
             ..SimConfig::default()
         };
-        let result =
-            DfgSimulator::new(&toy.dfg, modes.clone(), vec![0; 256], config).run();
+        let result = DfgSimulator::new(&toy.dfg, modes.clone(), vec![0; 256], config).run();
         let b = PowerModel::new(ModelParams::default()).energy(&toy.dfg, &modes, &result);
         assert!(b.sram_dynamic > 0.0);
         assert!(b.sram_static > 0.0);
-        let (pes, srams) = PowerModel::new(ModelParams::default())
-            .active_counts(&toy.dfg, &result);
+        let (pes, srams) = PowerModel::new(ModelParams::default()).active_counts(&toy.dfg, &result);
         assert_eq!(srams, 1);
         assert!(pes >= 5);
     }
@@ -294,7 +295,10 @@ mod tests {
         let dyn_per_cycle = b.node_dynamic[i] / result.nominal_cycles();
         let static_per_cycle = b.node_static[i] / result.nominal_cycles();
         assert!((static_per_cycle - params.pe_leak_power_nominal()).abs() < 1e-9);
-        assert!((dyn_per_cycle - 0.5).abs() < 0.01, "mul fires every 2nd cycle");
+        assert!(
+            (dyn_per_cycle - 0.5).abs() < 0.01,
+            "mul fires every 2nd cycle"
+        );
     }
 
     #[test]

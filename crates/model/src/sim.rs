@@ -190,10 +190,7 @@ impl<'a> DfgSimulator<'a> {
         assert_eq!(modes.len(), dfg.node_count(), "one mode per node");
         dfg.validate().expect("simulated graphs must be valid");
         let queues = (0..dfg.edge_count()).map(|_| VecDeque::new()).collect();
-        let init_pending = dfg
-            .nodes()
-            .map(|(_, n)| n.init.is_some())
-            .collect();
+        let init_pending = dfg.nodes().map(|(_, n)| n.init.is_some()).collect();
         DfgSimulator {
             source_count: vec![0; dfg.node_count()],
             dfg,
@@ -280,8 +277,7 @@ impl<'a> DfgSimulator<'a> {
             if fired {
                 last_fire_tick = t;
             }
-            if let (Some(max), Some(marker)) = (self.config.max_marker_fires, self.config.marker)
-            {
+            if let (Some(max), Some(marker)) = (self.config.max_marker_fires, self.config.marker) {
                 if fires[marker.index()] >= max {
                     stop = StopReason::MarkerDone;
                     t += 1;
@@ -514,7 +510,6 @@ impl<'a> DfgSimulator<'a> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -714,7 +709,9 @@ mod tests {
             };
             let modes = nominal_modes(&k.dfg);
             let r = DfgSimulator::new(&k.dfg, modes, k.mem.clone(), config).run();
-            let ii = r.steady_ii(10).unwrap_or_else(|| panic!("{} no II", k.name));
+            let ii = r
+                .steady_ii(10)
+                .unwrap_or_else(|| panic!("{} no II", k.name));
             // The ideal recurrence is the worst-case static bound; DFGs
             // whose critical cycle runs through a data-dependent branch
             // (dither's error path) iterate slightly faster on average.

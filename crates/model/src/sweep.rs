@@ -77,7 +77,8 @@ pub fn sweep_group_modes(dfg: &Dfg, mem: Vec<u32>, marker: NodeId) -> SweepResul
     let grouping = Grouping::chains(dfg);
     let sweepable: Vec<usize> = (0..grouping.len())
         .filter(|&g| {
-            grouping.members(g)
+            grouping
+                .members(g)
                 .iter()
                 .all(|&n| !dfg.node(n).op.is_pseudo())
         })
@@ -91,9 +92,12 @@ pub fn sweep_group_modes(dfg: &Dfg, mem: Vec<u32>, marker: NodeId) -> SweepResul
     let est = EnergyDelayEstimator::new(dfg, mem, marker);
     let baseline = est.measure(&vec![VfMode::Nominal; dfg.node_count()]);
 
-    let mut points = Vec::new();
+    // Every combo is a pure function of its index, so the sweep fans
+    // out across threads (see `uecgra_util::par` for the determinism
+    // contract: points land in combo-index order regardless of thread
+    // count) and the Pareto/EDP reductions fold on the main thread.
     let combos = 3usize.pow(sweepable.len() as u32);
-    for combo in 0..combos {
+    let points = uecgra_util::par_tabulate(combos, |combo| {
         let mut group_modes = vec![VfMode::Nominal; grouping.len()];
         let mut c = combo;
         for &g in &sweepable {
@@ -111,13 +115,13 @@ pub fn sweep_group_modes(dfg: &Dfg, mem: Vec<u32>, marker: NodeId) -> SweepResul
             })
             .collect();
         let ed = est.measure(&node_modes);
-        points.push(SweepPoint {
-            group_modes,
-            node_modes,
+        SweepPoint {
             speedup: ed.speedup_over(&baseline),
             efficiency: ed.efficiency_over(&baseline),
-        });
-    }
+            group_modes,
+            node_modes,
+        }
+    });
     SweepResult { points, baseline }
 }
 

@@ -1,28 +1,21 @@
 //! Property tests over the analytical discrete-event simulator.
 
-use proptest::prelude::*;
 use uecgra_clock::VfMode;
 use uecgra_dfg::kernels::synthetic;
 use uecgra_model::{DfgSimulator, SimConfig, StopReason};
+use uecgra_util::{check::forall, SplitMix64};
 
-fn arb_mode() -> impl Strategy<Value = VfMode> {
-    prop_oneof![
-        Just(VfMode::Rest),
-        Just(VfMode::Nominal),
-        Just(VfMode::Sprint)
-    ]
+fn arb_mode(rng: &mut SplitMix64) -> VfMode {
+    *rng.pick(&VfMode::ALL)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// A pipeline's throughput equals its slowest stage's rate,
-    /// independent of where the slow stage sits.
-    #[test]
-    fn chain_throughput_is_the_slowest_stage(
-        n in 1usize..7,
-        mode_pool in proptest::collection::vec(arb_mode(), 10),
-    ) {
+/// A pipeline's throughput equals its slowest stage's rate,
+/// independent of where the slow stage sits.
+#[test]
+fn chain_throughput_is_the_slowest_stage() {
+    forall(48, |rng| {
+        let n = 1 + rng.range(6);
+        let mode_pool: Vec<VfMode> = (0..10).map(|_| arb_mode(rng)).collect();
         let s = synthetic::chain(n);
         let mut modes = vec![VfMode::Nominal; s.dfg.node_count()];
         // Pseudo-ops (source/sink) stay nominal: they model the world.
@@ -49,19 +42,20 @@ proptest! {
         let ii = r.steady_ii(30).expect("steady state");
         // Rational-clock edges are not aligned to nominal cycles, so
         // the endpoint-based II measurement carries a sub-cycle wobble.
-        prop_assert!(
+        assert!(
             (ii - expect_ii).abs() / expect_ii < 0.02,
             "n={n} slowest={slowest:?}: II {ii} vs {expect_ii}"
         );
-    }
+    });
+}
 
-    /// A uniform-mode ring's II is its length divided by the mode's
-    /// frequency multiplier.
-    #[test]
-    fn uniform_ring_ii_scales_with_mode(
-        n in 2usize..8,
-        mode in arb_mode(),
-    ) {
+/// A uniform-mode ring's II is its length divided by the mode's
+/// frequency multiplier.
+#[test]
+fn uniform_ring_ii_scales_with_mode() {
+    forall(48, |rng| {
+        let n = 2 + rng.range(6);
+        let mode = arb_mode(rng);
         let s = synthetic::cycle_n(n);
         let mut modes = vec![VfMode::Nominal; s.dfg.node_count()];
         for c in &s.cycle_nodes {
@@ -79,16 +73,20 @@ proptest! {
         };
         let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
         let ii = r.steady_ii(20).expect("steady state");
-        prop_assert!(
+        assert!(
             (ii - n as f64 / mult).abs() < 1e-9,
             "cycle-{n}@{mode:?}: II {ii}"
         );
-    }
+    });
+}
 
-    /// Firing conservation on a chain: every stage fires exactly once
-    /// per source token once the pipeline drains.
-    #[test]
-    fn chain_conserves_tokens(n in 1usize..7, limit in 1u64..50) {
+/// Firing conservation on a chain: every stage fires exactly once
+/// per source token once the pipeline drains.
+#[test]
+fn chain_conserves_tokens() {
+    forall(48, |rng| {
+        let n = 1 + rng.range(6);
+        let limit = rng.range_u64(1, 50);
         let s = synthetic::chain(n);
         let config = SimConfig {
             source_limit: Some(limit),
@@ -96,18 +94,22 @@ proptest! {
         };
         let modes = vec![VfMode::Nominal; s.dfg.node_count()];
         let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
-        prop_assert_eq!(r.stop, StopReason::Quiesced);
+        assert_eq!(r.stop, StopReason::Quiesced);
         for (id, node) in s.dfg.nodes() {
             if node.op.is_pseudo() {
                 continue;
             }
-            prop_assert_eq!(r.fires[id.index()], limit, "{}", node.name);
+            assert_eq!(r.fires[id.index()], limit, "{}", node.name);
         }
-    }
+    });
+}
 
-    /// Hop latency scales a ring's II exactly linearly.
-    #[test]
-    fn hop_latency_scales_ring_ii(n in 2usize..6, hop in 1u32..4) {
+/// Hop latency scales a ring's II exactly linearly.
+#[test]
+fn hop_latency_scales_ring_ii() {
+    forall(48, |rng| {
+        let n = 2 + rng.range(4);
+        let hop = 1 + rng.range(3) as u32;
         let s = synthetic::cycle_n(n);
         let config = SimConfig {
             marker: Some(s.iter_marker),
@@ -118,6 +120,6 @@ proptest! {
         let modes = vec![VfMode::Nominal; s.dfg.node_count()];
         let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
         let ii = r.steady_ii(15).expect("steady state");
-        prop_assert!(((ii) - (n as f64 * hop as f64)).abs() < 1e-9);
-    }
+        assert!((ii - (n as f64 * hop as f64)).abs() < 1e-9);
+    });
 }

@@ -34,9 +34,7 @@ pub fn config_cycles(bitstream: &Bitstream) -> u64 {
         .iter()
         .map(|row| {
             row.iter()
-                .map(|cfg| {
-                    2 + cfg.constant.is_some() as u64 + cfg.init.is_some() as u64
-                })
+                .map(|cfg| 2 + cfg.constant.is_some() as u64 + cfg.init.is_some() as u64)
                 .max()
                 .unwrap_or(0)
         })

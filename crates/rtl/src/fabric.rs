@@ -217,9 +217,7 @@ impl Fabric {
                 row.iter()
                     .map(|cfg| PeState {
                         config: *cfg,
-                        queues: core::array::from_fn(|_| {
-                            BisyncQueue::new(config.queue_capacity)
-                        }),
+                        queues: core::array::from_fn(|_| BisyncQueue::new(config.queue_capacity)),
                         queue_users: queue_users(cfg),
                         queue_src_mode: [None; 4],
                         reg: None,
@@ -345,13 +343,7 @@ impl Fabric {
                     {
                         continue;
                     }
-                    self.decide(
-                        (x, y),
-                        t,
-                        &mut plans,
-                        &mut input_stalls,
-                        &mut output_stalls,
-                    );
+                    self.decide((x, y), t, &mut plans, &mut input_stalls, &mut output_stalls);
                 }
             }
 
@@ -366,7 +358,10 @@ impl Fabric {
                 acted = true;
                 match plan {
                     Plan::Compute {
-                        pe: (x, y), pops, consume_reg, ..
+                        pe: (x, y),
+                        pops,
+                        consume_reg,
+                        ..
                     } => {
                         for &d in pops {
                             let required = self.grid[*y][*x].queue_users[d as usize];
@@ -470,8 +465,7 @@ impl Fabric {
             if acted {
                 last_act = t;
             }
-            if let (Some(max), Some((mx, my))) =
-                (self.config.max_marker_fires, self.config.marker)
+            if let (Some(max), Some((mx, my))) = (self.config.max_marker_fires, self.config.marker)
             {
                 if fires[my][mx] >= max {
                     stop = FabricStop::MarkerDone;

@@ -137,20 +137,14 @@ impl InelasticSchedule {
             })
             .collect();
 
-        let mut phi_state: Vec<u32> = dfg
-            .nodes()
-            .map(|(_, n)| n.init.unwrap_or(0))
-            .collect();
+        let mut phi_state: Vec<u32> = dfg.nodes().map(|(_, n)| n.init.unwrap_or(0)).collect();
         let mut value: Vec<u32> = vec![0; dfg.node_count()];
         let mut source_counter: Vec<u32> = vec![0; dfg.node_count()];
 
         for _ in 0..iterations {
             for &node in topo.order() {
                 let data = dfg.node(node);
-                let read = |e: &uecgra_dfg::Edge,
-                            value: &[u32],
-                            phi_state: &[u32]|
-                 -> u32 {
+                let read = |e: &uecgra_dfg::Edge, value: &[u32], phi_state: &[u32]| -> u32 {
                     if dfg.node(e.src).op == Op::Phi {
                         phi_state[e.src.index()]
                     } else {
@@ -320,7 +314,7 @@ mod exec_tests {
     #[test]
     fn static_execution_matches_elastic_simulation() {
         // The IE-CGRA and the elastic model agree on regular kernels.
-        
+
         let n = 10;
         let (g, mem0) = regular_kernel(n);
         let sched = InelasticSchedule::build(&g).unwrap();

@@ -49,5 +49,5 @@ pub mod trace;
 
 pub use fabric::{Activity, Fabric, FabricConfig, FabricStop, SuppressorKind};
 pub use inelastic::InelasticSchedule;
-pub use trace::to_vcd;
 pub use scratchpad::Scratchpad;
+pub use trace::to_vcd;

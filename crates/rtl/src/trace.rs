@@ -86,14 +86,13 @@ pub fn to_vcd(activity: &Activity, bitstream: &Bitstream) -> String {
     let _ = writeln!(out, "$end");
 
     // Events: pulse high at the event tick, low at the next tick.
-    let lookup: std::collections::HashMap<Coord, usize> = signals
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.pe, i))
-        .collect();
+    let lookup: std::collections::HashMap<Coord, usize> =
+        signals.iter().enumerate().map(|(i, s)| (s.pe, i)).collect();
     let mut changes: Vec<(u64, String)> = Vec::new();
     for e in &activity.events {
-        let Some(&i) = lookup.get(&e.pe) else { continue };
+        let Some(&i) = lookup.get(&e.pe) else {
+            continue;
+        };
         let id = if e.is_fire {
             &signals[i].id_fire
         } else {

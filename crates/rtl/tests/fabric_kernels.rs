@@ -13,8 +13,8 @@ use uecgra_rtl::fabric::{Fabric, FabricConfig, FabricStop};
 fn run_kernel(k: &Kernel, modes: &[VfMode], seed: u64) -> (MappedKernel, uecgra_rtl::Activity) {
     let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), seed)
         .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-    let bs = Bitstream::assemble(&k.dfg, &mapped, modes)
-        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    let bs =
+        Bitstream::assemble(&k.dfg, &mapped, modes).unwrap_or_else(|e| panic!("{}: {e}", k.name));
     let config = FabricConfig {
         marker: Some(mapped.coord_of(k.iter_marker)),
         ..FabricConfig::default()
@@ -38,7 +38,12 @@ fn all_kernels_compute_correctly_at_nominal() {
     for k in small_kernels() {
         let modes = vec![VfMode::Nominal; k.dfg.node_count()];
         let (_, activity) = run_kernel(&k, &modes, 7);
-        assert_eq!(activity.stop, FabricStop::Quiesced, "{} must terminate", k.name);
+        assert_eq!(
+            activity.stop,
+            FabricStop::Quiesced,
+            "{} must terminate",
+            k.name
+        );
         let expect = k.reference_memory();
         assert_eq!(
             &activity.mem[..expect.len()],
@@ -90,11 +95,7 @@ fn routed_ii_is_at_least_the_recurrence_bound() {
             .steady_ii(8)
             .unwrap_or_else(|| panic!("{}: no steady state", k.name));
         let ideal = k.ideal_recurrence as f64;
-        assert!(
-            ii >= ideal - 1.2,
-            "{}: II {ii} below ideal {ideal}",
-            k.name
-        );
+        assert!(ii >= ideal - 1.2, "{}: II {ii} below ideal {ideal}", k.name);
         assert!(
             ii <= 3.0 * ideal,
             "{}: II {ii} wildly above ideal {ideal} — routing gone wrong",
@@ -120,7 +121,11 @@ fn popt_speeds_up_recurrence_bound_kernels() {
             "{}: POpt speedup {speedup:.2} too low (base II {ii_base:.2}, POpt II {ii_fast:.2})",
             k.name
         );
-        assert!(speedup < 1.6, "{}: speedup {speedup:.2} above sprint ratio", k.name);
+        assert!(
+            speedup < 1.6,
+            "{}: speedup {speedup:.2} above sprint ratio",
+            k.name
+        );
     }
 }
 
@@ -154,10 +159,7 @@ fn bypass_tokens_flow_on_multi_hop_routes() {
     let k = kernels::bf::build_with_rounds(16);
     let modes = vec![VfMode::Nominal; k.dfg.node_count()];
     let (mapped, activity) = run_kernel(&k, &modes, 5);
-    let has_long_route = k
-        .dfg
-        .edges()
-        .any(|(id, _)| mapped.route(id).path.len() > 2);
+    let has_long_route = k.dfg.edges().any(|(id, _)| mapped.route(id).path.len() > 2);
     if has_long_route {
         let total: u64 = activity.bypass_tokens.iter().flatten().sum();
         assert!(total > 0, "multi-hop routes must forward bypass tokens");
@@ -300,7 +302,13 @@ fn slack_mapper_matches_search_mapper_speedups() {
         let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), 7).unwrap();
         let extra: Vec<u32> = k.dfg.edges().map(|(id, _)| mapped.extra_hops(id)).collect();
         let nominal = vec![VfMode::Nominal; k.dfg.node_count()];
-        let slack = power_map_slack(&k.dfg, k.mem.clone(), k.iter_marker, &extra, Objective::Performance);
+        let slack = power_map_slack(
+            &k.dfg,
+            k.mem.clone(),
+            k.iter_marker,
+            &extra,
+            Objective::Performance,
+        );
 
         let run = |modes: &[VfMode]| {
             let bs = Bitstream::assemble(&k.dfg, &mapped, modes).unwrap();

@@ -251,7 +251,12 @@ impl Cpu {
                     next_pc = target;
                     cycles += t.branch_taken_penalty;
                 }
-                Instr::Branch { op, rs1, rs2, offset } => {
+                Instr::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
                     mix.branch += 1;
                     let a = self.regs[rs1 as usize];
                     let b = self.regs[rs2 as usize];

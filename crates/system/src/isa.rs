@@ -231,10 +231,13 @@ impl Instr {
                 imm | r(rd) << 7 | 0x37
             }
             Instr::Jal { rd, offset } => enc_j_imm(offset) | r(rd) << 7 | 0x6F,
-            Instr::Jalr { rd, rs1, offset } => {
-                i12(offset) << 20 | r(rs1) << 15 | r(rd) << 7 | 0x67
-            }
-            Instr::Branch { op, rs1, rs2, offset } => {
+            Instr::Jalr { rd, rs1, offset } => i12(offset) << 20 | r(rs1) << 15 | r(rd) << 7 | 0x67,
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let funct3 = match op {
                     BranchOp::Eq => 0b000,
                     BranchOp::Ne => 0b001,
@@ -460,18 +463,71 @@ mod tests {
     #[test]
     fn roundtrip_representative_instructions() {
         let cases = [
-            Instr::Lui { rd: 5, imm: 0xABCD_E000 },
-            Instr::Jal { rd: 1, offset: -2048 },
-            Instr::Jalr { rd: 0, rs1: 1, offset: 16 },
-            Instr::Branch { op: BranchOp::Lt, rs1: 3, rs2: 4, offset: -64 },
-            Instr::Branch { op: BranchOp::Geu, rs1: 30, rs2: 31, offset: 4094 },
-            Instr::Lw { rd: 7, rs1: 2, offset: -4 },
-            Instr::Sw { rs1: 2, rs2: 7, offset: 2044 },
-            Instr::OpImm { op: AluOp::And, rd: 9, rs1: 9, imm: 255 },
-            Instr::OpImm { op: AluOp::Sra, rd: 9, rs1: 9, imm: 31 },
-            Instr::Op { op: AluOp::Sub, rd: 10, rs1: 11, rs2: 12 },
-            Instr::MulDiv { op: MulOp::Mul, rd: 13, rs1: 14, rs2: 15 },
-            Instr::MulDiv { op: MulOp::Remu, rd: 13, rs1: 14, rs2: 15 },
+            Instr::Lui {
+                rd: 5,
+                imm: 0xABCD_E000,
+            },
+            Instr::Jal {
+                rd: 1,
+                offset: -2048,
+            },
+            Instr::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 16,
+            },
+            Instr::Branch {
+                op: BranchOp::Lt,
+                rs1: 3,
+                rs2: 4,
+                offset: -64,
+            },
+            Instr::Branch {
+                op: BranchOp::Geu,
+                rs1: 30,
+                rs2: 31,
+                offset: 4094,
+            },
+            Instr::Lw {
+                rd: 7,
+                rs1: 2,
+                offset: -4,
+            },
+            Instr::Sw {
+                rs1: 2,
+                rs2: 7,
+                offset: 2044,
+            },
+            Instr::OpImm {
+                op: AluOp::And,
+                rd: 9,
+                rs1: 9,
+                imm: 255,
+            },
+            Instr::OpImm {
+                op: AluOp::Sra,
+                rd: 9,
+                rs1: 9,
+                imm: 31,
+            },
+            Instr::Op {
+                op: AluOp::Sub,
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            Instr::MulDiv {
+                op: MulOp::Mul,
+                rd: 13,
+                rs1: 14,
+                rs2: 15,
+            },
+            Instr::MulDiv {
+                op: MulOp::Remu,
+                rd: 13,
+                rs1: 14,
+                rs2: 15,
+            },
             Instr::Ecall,
         ];
         for i in cases {

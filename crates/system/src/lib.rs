@@ -35,8 +35,8 @@ pub mod programs;
 
 pub use asm::Assembler;
 pub use cpu::{Cpu, CpuError, InstrMix, RunResult, TimingParams, TraceEntry};
-pub use ooo::{run_ooo, OooParams, OooResult};
 pub use isa::{AluOp, BranchOp, Instr, MulOp};
 pub use offload::{
     core_energy_pj, system_efficiency, system_speedup, CoreEnergyParams, OffloadOverheads,
 };
+pub use ooo::{run_ooo, OooParams, OooResult};

@@ -146,7 +146,11 @@ pub fn schedule(trace: &[TraceEntry], params: OooParams) -> u64 {
 /// # Errors
 ///
 /// Propagates functional-execution errors.
-pub fn run_ooo(program: Vec<u32>, dmem: Vec<u32>, params: OooParams) -> Result<OooResult, CpuError> {
+pub fn run_ooo(
+    program: Vec<u32>,
+    dmem: Vec<u32>,
+    params: OooParams,
+) -> Result<OooResult, CpuError> {
     let (result, trace) = Cpu::new(program, dmem).run_with_trace()?;
     Ok(OooResult {
         cycles: schedule(&trace, params),
@@ -250,7 +254,10 @@ mod tests {
         let llist_gain = lio.cycles as f64 / looo.cycles as f64;
 
         assert!(fft_gain > 2.0, "fft OoO gain {fft_gain}");
-        assert!(llist_gain < fft_gain / 1.5, "llist gain {llist_gain} too close");
+        assert!(
+            llist_gain < fft_gain / 1.5,
+            "llist gain {llist_gain} too close"
+        );
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! A miniature property-testing harness.
+//!
+//! [`forall`] runs a property closure against many independently
+//! seeded [`SplitMix64`] streams. When a case fails (panics), the
+//! harness reports the case seed before re-raising, and
+//! `UECGRA_CHECK_SEED=<seed>` reruns exactly that case — the two
+//! things we actually used `proptest` for, without the dependency
+//! (the build container has no network, so external crates cannot
+//! even be resolved).
+//!
+//! There is deliberately no shrinking: generators in this workspace
+//! draw small structured inputs directly, so failing cases are
+//! already small.
+
+use crate::rng::SplitMix64;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Run `property` against `cases` independently seeded RNG streams.
+///
+/// Case `i` receives an RNG seeded with a mix of `i`, so cases are
+/// independent and the whole run is reproducible. Set
+/// `UECGRA_CHECK_SEED` to rerun a single reported seed.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the failing seed.
+pub fn forall<F>(cases: u64, property: F)
+where
+    F: Fn(&mut SplitMix64),
+{
+    if let Ok(s) = std::env::var("UECGRA_CHECK_SEED") {
+        let seed: u64 = s.parse().expect("UECGRA_CHECK_SEED must be a u64");
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        property(&mut rng);
+        return;
+    }
+    for case in 0..cases {
+        // Spread case indices across the seed space so neighbouring
+        // cases do not share stream prefixes.
+        let seed = SplitMix64::seed_from_u64(case).next_u64();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        if let Err(panic) = result {
+            eprintln!(
+                "property failed on case {case}/{cases} \
+                 (rerun with UECGRA_CHECK_SEED={seed})"
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_case() {
+        let count = AtomicU64::new(0);
+        forall(37, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn cases_get_distinct_streams() {
+        let first = AtomicU64::new(u64::MAX);
+        let distinct = AtomicU64::new(0);
+        forall(16, |rng| {
+            let v = rng.next_u64();
+            if first
+                .compare_exchange(u64::MAX, v, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+                && v != first.load(Ordering::Relaxed)
+            {
+                distinct.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(distinct.load(Ordering::Relaxed) >= 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "property violated")]
+    fn failures_propagate() {
+        forall(8, |rng| {
+            if rng.next_u64() % 2 < 2 {
+                panic!("property violated");
+            }
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! Dependency-free utilities shared across the UE-CGRA reproduction.
+//!
+//! The container that builds this workspace has no network access, so
+//! everything that would normally come from crates.io lives here
+//! instead, implemented on `std` alone:
+//!
+//! - [`rng`]: a small deterministic PRNG (SplitMix64) replacing `rand`
+//!   for simulated annealing and randomized tests.
+//! - [`check`]: a miniature property-testing harness replacing
+//!   `proptest` — run a closure over many seeded RNGs and report the
+//!   failing seed.
+//! - [`par`]: a deterministic work-sharing parallel executor (see the
+//!   module docs for the determinism contract).
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod par;
+pub mod rng;
+
+pub use par::{num_threads, par_map, par_map_slice, par_tabulate};
+pub use rng::SplitMix64;

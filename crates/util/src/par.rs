@@ -1,0 +1,190 @@
+//! A deterministic, dependency-free parallel executor.
+//!
+//! The evaluation harnesses in this workspace are embarrassingly
+//! parallel: every sweep point, kernel compile, or fabric run is a
+//! pure function of its inputs. This module runs such task sets
+//! across threads with a *work-sharing* scheme — `std::thread::scope`
+//! workers pulling task indices from one shared atomic counter over
+//! an immutable task slice — which is all the stealing a flat task
+//! list needs.
+//!
+//! # Determinism contract
+//!
+//! Results are written into pre-sized output slots addressed by task
+//! index, and callers fold reductions on the main thread in index
+//! order. Thread count therefore affects only *which worker* computes
+//! a task, never the task's inputs or where its output lands: the
+//! returned `Vec` is bit-identical for any thread count, including 1.
+//! `UECGRA_THREADS=1` is the escape hatch that removes threading from
+//! the picture entirely (tasks run inline on the caller's thread).
+//!
+//! # Panics
+//!
+//! A panicking task poisons nothing: remaining workers drain the
+//! queue, then the first panic payload is re-raised on the caller's
+//! thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Worker threads to use: the `UECGRA_THREADS` env override if set
+/// and valid (minimum 1), else `std::thread::available_parallelism`.
+#[must_use]
+pub fn num_threads() -> usize {
+    match std::env::var("UECGRA_THREADS") {
+        Ok(s) => parse_threads(&s).unwrap_or(1),
+        Err(_) => thread::available_parallelism().map_or(1, usize::from),
+    }
+}
+
+/// Parse a `UECGRA_THREADS` value; `None` when not a positive integer.
+#[must_use]
+pub fn parse_threads(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Compute `f(0), f(1), …, f(n-1)` across [`num_threads`] workers and
+/// return the results in index order.
+///
+/// This is the executor's primitive; [`par_map`] wraps it for slices.
+/// See the module docs for the determinism contract.
+///
+/// # Panics
+///
+/// Re-raises the first task panic after all workers finish.
+pub fn par_tabulate<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        let mut local: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, f(i)));
+        }
+        local
+    };
+
+    let batches: Vec<thread::Result<Vec<(usize, R)>>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    // Index-addressed output slots: order is defined by task index
+    // alone, never by completion order.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for batch in batches {
+        match batch {
+            Ok(pairs) => {
+                for (i, r) in pairs {
+                    debug_assert!(slots[i].is_none(), "task {i} produced twice");
+                    slots[i] = Some(r);
+                }
+            }
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index produced exactly once"))
+        .collect()
+}
+
+/// Map `f` over `items` in parallel, preserving input order.
+///
+/// # Panics
+///
+/// Re-raises the first task panic after all workers finish.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_tabulate(items.len(), |i| f(&items[i]))
+}
+
+/// Map `f` over `items` in parallel with the item index, preserving
+/// input order.
+///
+/// # Panics
+///
+/// Re-raises the first task panic after all workers finish.
+pub fn par_map_slice<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_tabulate(items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+        let out = par_tabulate(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let caller = thread::current().id();
+        let out = par_map(&[5u32], |&x| {
+            assert_eq!(thread::current().id(), caller);
+            x + 1
+        });
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn tabulate_passes_indices() {
+        let out = par_tabulate(257, |i| i * 3);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task 13 exploded")]
+    fn task_panics_propagate() {
+        par_tabulate(64, |i| {
+            if i == 13 {
+                panic!("task 13 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 1 "), Some(1));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+}

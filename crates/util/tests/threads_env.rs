@@ -1,0 +1,38 @@
+//! The `UECGRA_THREADS` escape hatch.
+//!
+//! This test lives alone in its own integration binary because it
+//! mutates process-wide environment state; keeping it isolated means
+//! no other test can observe the variable mid-flight.
+
+use std::thread;
+use uecgra_util::{num_threads, par_map};
+
+#[test]
+fn uecgra_threads_one_forces_inline_serial_execution() {
+    std::env::set_var("UECGRA_THREADS", "1");
+    assert_eq!(num_threads(), 1);
+
+    // Every task must run on the caller's thread — no workers spawned.
+    let caller = thread::current().id();
+    let items: Vec<u64> = (0..100).collect();
+    let out = par_map(&items, |&x| {
+        assert_eq!(
+            thread::current().id(),
+            caller,
+            "task left the caller thread"
+        );
+        x * 7
+    });
+    assert_eq!(out, items.iter().map(|&x| x * 7).collect::<Vec<_>>());
+
+    // And the result must match what more threads produce.
+    std::env::set_var("UECGRA_THREADS", "8");
+    assert_eq!(num_threads(), 8);
+    let out8 = par_map(&items, |&x| x * 7);
+    assert_eq!(out, out8, "thread count changed results");
+
+    // Invalid overrides fall back to 1 rather than panicking.
+    std::env::set_var("UECGRA_THREADS", "zero");
+    assert_eq!(num_threads(), 1);
+    std::env::remove_var("UECGRA_THREADS");
+}

@@ -153,8 +153,7 @@ pub fn clock_power(
         for &sel in row {
             match sel {
                 Some(m) => {
-                    pe_clock_mw +=
-                        params.pe_clock_mw_nominal * local_clock_scale(m) * pe_factor;
+                    pe_clock_mw += params.pe_clock_mw_nominal * local_clock_scale(m) * pe_factor;
                     leakage_mw += params.active_leak_mw * volt_ratio(m);
                 }
                 None if !gating.power_gate => {

@@ -59,8 +59,7 @@ mod tests {
     fn overhead_ordering() {
         assert!(global_overhead_um2(CgraKind::Inelastic) < global_overhead_um2(CgraKind::Elastic));
         assert!(
-            global_overhead_um2(CgraKind::Elastic)
-                < global_overhead_um2(CgraKind::UltraElastic)
+            global_overhead_um2(CgraKind::Elastic) < global_overhead_um2(CgraKind::UltraElastic)
         );
     }
 

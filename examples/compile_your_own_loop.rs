@@ -84,11 +84,23 @@ fn main() {
         state = state.wrapping_mul(1664525).wrapping_add(1013904223);
         mem[SRC as usize + i] = state % 200;
     }
-    let pm = power_map(&lowered.dfg, mem.clone(), lowered.induction_phi, Objective::Performance);
+    let pm = power_map(
+        &lowered.dfg,
+        mem.clone(),
+        lowered.induction_phi,
+        Objective::Performance,
+    );
     let bitstream = Bitstream::assemble(&lowered.dfg, &mapped, &pm.node_modes).expect("assembles");
-    let sprints = pm.node_modes.iter().filter(|m| **m == VfMode::Sprint).count();
+    let sprints = pm
+        .node_modes
+        .iter()
+        .filter(|m| **m == VfMode::Sprint)
+        .count();
     let rests = pm.node_modes.iter().filter(|m| **m == VfMode::Rest).count();
-    println!("power mapping: {sprints} sprint, {rests} rest nodes; {} config words", bitstream.words().len());
+    println!(
+        "power mapping: {sprints} sprint, {rests} rest nodes; {} config words",
+        bitstream.words().len()
+    );
 
     // 4. Execute on the cycle-level fabric.
     let config = FabricConfig {

@@ -12,9 +12,7 @@ use uecgra_core::energy::cgra_energy;
 use uecgra_core::pipeline::{run_kernel, Policy};
 use uecgra_dfg::kernels;
 use uecgra_rtl::config_load;
-use uecgra_system::{
-    core_energy_pj, programs, system_speedup, CoreEnergyParams, OffloadOverheads,
-};
+use uecgra_system::{core_energy_pj, programs, system_speedup, CoreEnergyParams, OffloadOverheads};
 use uecgra_vlsi::GatingConfig;
 
 fn main() {

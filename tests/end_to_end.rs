@@ -110,7 +110,11 @@ fn headline_results_hold() {
     let row = runs.table2_row();
     assert!(row.popt_perf > 1.35, "POpt perf {}", row.popt_perf);
     assert!(row.eopt_eff > 1.1, "EOpt eff {}", row.eopt_eff);
-    assert!((row.eopt_perf - 1.0).abs() < 0.1, "EOpt perf {}", row.eopt_perf);
+    assert!(
+        (row.eopt_perf - 1.0).abs() < 0.1,
+        "EOpt perf {}",
+        row.eopt_perf
+    );
 
     // System level: the CGRA must beat the scalar core on dither.
     let t3 = table3_row(&runs);

@@ -1,32 +1,25 @@
 //! Property-based tests over the reproduction's core invariants.
 
-use proptest::prelude::*;
 use uecgra_clock::{ClockSet, Suppressor, VfMode};
 use uecgra_compiler::bitstream::{Bypass, Dir, OperandSel, PeConfig, PeRole};
 use uecgra_dfg::{kernels, Op, PE_OPS};
 use uecgra_model::{DfgSimulator, SimConfig, StopReason};
 use uecgra_system::{AluOp, BranchOp, Instr, MulOp};
+use uecgra_util::{check::forall, SplitMix64};
 
-fn arb_mode() -> impl Strategy<Value = VfMode> {
-    prop_oneof![
-        Just(VfMode::Rest),
-        Just(VfMode::Nominal),
-        Just(VfMode::Sprint)
-    ]
+fn arb_mode(rng: &mut SplitMix64) -> VfMode {
+    *rng.pick(&VfMode::ALL)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// THE elastic-design theorem: any per-node DVFS assignment and any
-    /// queue depth >= 2 produce the same results as the host reference —
-    /// only timing changes. (Depth 1 also works for correctness; it is
-    /// included.)
-    #[test]
-    fn any_dvfs_assignment_preserves_dither(
-        mode_pool in proptest::collection::vec(arb_mode(), 64),
-        depth in 1usize..4,
-    ) {
+/// THE elastic-design theorem: any per-node DVFS assignment and any
+/// queue depth >= 2 produce the same results as the host reference —
+/// only timing changes. (Depth 1 also works for correctness; it is
+/// included.)
+#[test]
+fn any_dvfs_assignment_preserves_dither() {
+    forall(24, |rng| {
+        let mode_pool: Vec<VfMode> = (0..64).map(|_| arb_mode(rng)).collect();
+        let depth = 1 + rng.range(3);
         let k = kernels::dither::build_with_pixels(24);
         let modes = mode_pool[..k.dfg.node_count()].to_vec();
         let config = SimConfig {
@@ -35,16 +28,17 @@ proptest! {
             ..SimConfig::default()
         };
         let r = DfgSimulator::new(&k.dfg, modes, k.mem.clone(), config).run();
-        prop_assert_eq!(r.stop, StopReason::Quiesced);
-        prop_assert_eq!(r.mem, k.reference_memory());
-    }
+        assert_eq!(r.stop, StopReason::Quiesced);
+        assert_eq!(r.mem, k.reference_memory());
+    });
+}
 
-    /// Ditto for the pointer chase, whose control flow is fully
-    /// data-dependent.
-    #[test]
-    fn any_dvfs_assignment_preserves_llist(
-        mode_pool in proptest::collection::vec(arb_mode(), 64),
-    ) {
+/// Ditto for the pointer chase, whose control flow is fully
+/// data-dependent.
+#[test]
+fn any_dvfs_assignment_preserves_llist() {
+    forall(24, |rng| {
+        let mode_pool: Vec<VfMode> = (0..64).map(|_| arb_mode(rng)).collect();
         let k = kernels::llist::build_with_hops(16);
         let modes = mode_pool[..k.dfg.node_count()].to_vec();
         let config = SimConfig {
@@ -52,113 +46,174 @@ proptest! {
             ..SimConfig::default()
         };
         let r = DfgSimulator::new(&k.dfg, modes, k.mem.clone(), config).run();
-        prop_assert_eq!(r.stop, StopReason::Quiesced);
-        prop_assert_eq!(r.mem, k.reference_memory());
-    }
+        assert_eq!(r.stop, StopReason::Quiesced);
+        assert_eq!(r.mem, k.reference_memory());
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// ALU op algebra: comparison pairs are complementary, add/sub
+/// invert, copies project.
+#[test]
+fn op_eval_algebra() {
+    forall(256, |rng| {
+        let a = rng.next_u32();
+        let b = rng.next_u32();
+        assert_eq!(Op::Eq.eval(a, b) ^ Op::Ne.eval(a, b), 1);
+        assert_eq!(Op::Lt.eval(a, b) ^ Op::Geq.eval(a, b), 1);
+        assert_eq!(Op::Gt.eval(a, b) ^ Op::Leq.eval(a, b), 1);
+        assert_eq!(Op::Sub.eval(Op::Add.eval(a, b), b), a);
+        assert_eq!(Op::Cp0.eval(a, b), a);
+        assert_eq!(Op::Cp1.eval(a, b), b);
+        assert_eq!(Op::Xor.eval(Op::Xor.eval(a, b), b), a);
+    });
+}
 
-    /// ALU op algebra: comparison pairs are complementary, add/sub
-    /// invert, copies project.
-    #[test]
-    fn op_eval_algebra(a in any::<u32>(), b in any::<u32>()) {
-        prop_assert_eq!(Op::Eq.eval(a, b) ^ Op::Ne.eval(a, b), 1);
-        prop_assert_eq!(Op::Lt.eval(a, b) ^ Op::Geq.eval(a, b), 1);
-        prop_assert_eq!(Op::Gt.eval(a, b) ^ Op::Leq.eval(a, b), 1);
-        prop_assert_eq!(Op::Sub.eval(Op::Add.eval(a, b), b), a);
-        prop_assert_eq!(Op::Cp0.eval(a, b), a);
-        prop_assert_eq!(Op::Cp1.eval(a, b), b);
-        prop_assert_eq!(Op::Xor.eval(Op::Xor.eval(a, b), b), a);
-    }
-
-    /// Every RV32IM instruction the assembler can emit round-trips
-    /// through its binary encoding.
-    #[test]
-    fn isa_encode_decode_roundtrip(
-        rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32,
-        imm in -2048i32..=2047,
-        shamt in 0i32..32,
-        branch_off in -2048i32..=2047,
-        alu_idx in 0usize..10,
-        mul_idx in 0usize..8,
-        br_idx in 0usize..6,
-    ) {
-        let alu = [AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Slt, AluOp::Sltu,
-                   AluOp::Xor, AluOp::Srl, AluOp::Sra, AluOp::Or, AluOp::And][alu_idx];
-        let mul = [MulOp::Mul, MulOp::Mulh, MulOp::Mulhsu, MulOp::Mulhu,
-                   MulOp::Div, MulOp::Divu, MulOp::Rem, MulOp::Remu][mul_idx];
-        let br = [BranchOp::Eq, BranchOp::Ne, BranchOp::Lt, BranchOp::Ge,
-                  BranchOp::Ltu, BranchOp::Geu][br_idx];
+/// Every RV32IM instruction the assembler can emit round-trips
+/// through its binary encoding.
+#[test]
+fn isa_encode_decode_roundtrip() {
+    forall(256, |rng| {
+        let rd = rng.range(32) as u8;
+        let rs1 = rng.range(32) as u8;
+        let rs2 = rng.range(32) as u8;
+        let imm = rng.range(4096) as i32 - 2048;
+        let shamt = rng.range(32) as i32;
+        let branch_off = rng.range(4096) as i32 - 2048;
+        let alu = *rng.pick(&[
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+        ]);
+        let mul = *rng.pick(&[
+            MulOp::Mul,
+            MulOp::Mulh,
+            MulOp::Mulhsu,
+            MulOp::Mulhu,
+            MulOp::Div,
+            MulOp::Divu,
+            MulOp::Rem,
+            MulOp::Remu,
+        ]);
+        let br = *rng.pick(&[
+            BranchOp::Eq,
+            BranchOp::Ne,
+            BranchOp::Lt,
+            BranchOp::Ge,
+            BranchOp::Ltu,
+            BranchOp::Geu,
+        ]);
         let mut cases = vec![
-            Instr::Op { op: alu, rd, rs1, rs2 },
-            Instr::MulDiv { op: mul, rd, rs1, rs2 },
-            Instr::Branch { op: br, rs1, rs2, offset: branch_off & !1 },
-            Instr::Lw { rd, rs1, offset: imm },
-            Instr::Sw { rs1, rs2, offset: imm },
-            Instr::Jal { rd, offset: (imm & !1) * 2 },
+            Instr::Op {
+                op: alu,
+                rd,
+                rs1,
+                rs2,
+            },
+            Instr::MulDiv {
+                op: mul,
+                rd,
+                rs1,
+                rs2,
+            },
+            Instr::Branch {
+                op: br,
+                rs1,
+                rs2,
+                offset: branch_off & !1,
+            },
+            Instr::Lw {
+                rd,
+                rs1,
+                offset: imm,
+            },
+            Instr::Sw {
+                rs1,
+                rs2,
+                offset: imm,
+            },
+            Instr::Jal {
+                rd,
+                offset: (imm & !1) * 2,
+            },
         ];
         if alu != AluOp::Sub {
-            let i = if matches!(alu, AluOp::Sll | AluOp::Srl | AluOp::Sra) { shamt } else { imm };
-            cases.push(Instr::OpImm { op: alu, rd, rs1, imm: i });
+            let i = if matches!(alu, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                shamt
+            } else {
+                imm
+            };
+            cases.push(Instr::OpImm {
+                op: alu,
+                rd,
+                rs1,
+                imm: i,
+            });
         }
         for instr in cases {
-            prop_assert_eq!(Instr::decode(instr.encode()), Ok(instr));
+            assert_eq!(Instr::decode(instr.encode()), Ok(instr));
         }
-    }
+    });
+}
 
-    /// PE configuration words round-trip through packing.
-    #[test]
-    fn bitstream_pack_unpack_roundtrip(
-        op_idx in 0usize..PE_OPS.len(),
-        route_only in any::<bool>(),
-        op0 in 0u32..7, op1 in 0u32..7,
-        t_mask in any::<[bool; 4]>(),
-        f_mask in any::<[bool; 4]>(),
-        bp0 in proptest::option::of((0u32..4, any::<[bool; 4]>())),
-        bp1 in proptest::option::of((0u32..4, any::<[bool; 4]>())),
-        clk in arb_mode(),
-        reg_write in any::<bool>(),
-    ) {
-        let dir = |c: u32| Dir::ALL[c as usize];
-        let sel = |c: u32| match c {
+/// PE configuration words round-trip through packing.
+#[test]
+fn bitstream_pack_unpack_roundtrip() {
+    forall(256, |rng| {
+        let dir = |c: usize| Dir::ALL[c];
+        let sel = |c: usize| match c {
             0..=3 => OperandSel::Queue(dir(c)),
             4 => OperandSel::Reg,
             5 => OperandSel::Const,
             _ => OperandSel::None,
         };
+        let mask = |rng: &mut SplitMix64| [rng.bool(), rng.bool(), rng.bool(), rng.bool()];
+        let bypass = |rng: &mut SplitMix64| {
+            if rng.bool() {
+                let src = dir(rng.range(4));
+                let dst_mask = [rng.bool(), rng.bool(), rng.bool(), rng.bool()];
+                Some(Bypass { src, dst_mask })
+            } else {
+                None
+            }
+        };
         let cfg = PeConfig {
-            role: if route_only { PeRole::RouteOnly } else { PeRole::Compute(PE_OPS[op_idx]) },
-            operands: [sel(op0), sel(op1)],
-            alu_true_mask: t_mask,
-            alu_false_mask: f_mask,
-            bypass: [
-                bp0.map(|(s, m)| Bypass { src: dir(s), dst_mask: m }),
-                bp1.map(|(s, m)| Bypass { src: dir(s), dst_mask: m }),
-            ],
-            clk,
-            reg_write,
+            role: if rng.bool() {
+                PeRole::RouteOnly
+            } else {
+                PeRole::Compute(PE_OPS[rng.range(PE_OPS.len())])
+            },
+            operands: [sel(rng.range(7)), sel(rng.range(7))],
+            alu_true_mask: mask(rng),
+            alu_false_mask: mask(rng),
+            bypass: [bypass(rng), bypass(rng)],
+            clk: arb_mode(rng),
+            reg_write: rng.bool(),
             constant: None,
             init: None,
         };
-        prop_assert_eq!(PeConfig::unpack(cfg.pack()), cfg);
-    }
+        assert_eq!(PeConfig::unpack(cfg.pack()), cfg);
+    });
+}
 
-    /// Any valid clock plan passes the STA cross-product check, and
-    /// the suppressor invariant holds: a token aged one receiver
-    /// period is always readable at the next receiver edge.
-    #[test]
-    fn clock_plans_verify_and_suppressor_is_live(
-        sprint in 1u32..5,
-        nom_mult in 1u32..4,
-        rest_mult in 1u32..4,
-    ) {
-        let nominal = sprint * nom_mult;
-        let rest = nominal * rest_mult;
+/// Any valid clock plan passes the STA cross-product check, and
+/// the suppressor invariant holds: a token aged one receiver
+/// period is always readable at the next receiver edge.
+#[test]
+fn clock_plans_verify_and_suppressor_is_live() {
+    forall(256, |rng| {
+        let sprint = 1 + rng.range(4) as u32;
+        let nominal = sprint * (1 + rng.range(3) as u32);
+        let rest = nominal * (1 + rng.range(3) as u32);
         let clocks = ClockSet::new([rest, nominal, sprint]).expect("ordered divisors");
         let report = uecgra_clock::sta::verify_all(&clocks);
-        prop_assert!(report.all_clean(), "{}", report);
+        assert!(report.all_clean(), "{report}");
 
         // Liveness: for every src→dst pair, a token written at any src
         // edge is readable at some dst edge within one hyperperiod +
@@ -172,18 +227,22 @@ proptest! {
                     let deadline = t_w + h + clocks.period(dst);
                     while !sup.allows(t, t_w) {
                         t = clocks.next_rising(dst, t);
-                        prop_assert!(t <= deadline, "{src}->{dst} token starved");
+                        assert!(t <= deadline, "{src}->{dst} token starved");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Source/sink bookkeeping: a chain fed by a limited source
-    /// delivers exactly that many tokens.
-    #[test]
-    fn source_limit_is_exact(limit in 1u64..40, n in 1usize..6) {
+/// Source/sink bookkeeping: a chain fed by a limited source
+/// delivers exactly that many tokens.
+#[test]
+fn source_limit_is_exact() {
+    forall(256, |rng| {
         use uecgra_dfg::kernels::synthetic;
+        let limit = rng.range_u64(1, 40);
+        let n = 1 + rng.range(5);
         let s = synthetic::chain(n);
         let config = SimConfig {
             marker: Some(s.iter_marker),
@@ -192,7 +251,7 @@ proptest! {
         };
         let modes = vec![VfMode::Nominal; s.dfg.node_count()];
         let r = DfgSimulator::new(&s.dfg, modes, vec![], config).run();
-        prop_assert_eq!(r.stop, StopReason::Quiesced);
-        prop_assert_eq!(r.iterations(), limit);
-    }
+        assert_eq!(r.stop, StopReason::Quiesced);
+        assert_eq!(r.iterations(), limit);
+    });
 }
