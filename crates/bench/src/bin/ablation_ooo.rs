@@ -5,9 +5,10 @@
 //! memory disambiguation) and compares against the in-order core and
 //! the UE-CGRA POpt fabric.
 
-use uecgra_bench::{header, r2};
+use uecgra_bench::{header, json_path, r2, write_reports};
 use uecgra_core::experiments::SEED;
-use uecgra_core::pipeline::{run_kernel, Policy};
+use uecgra_core::pipeline::{Policy, RunRequest};
+use uecgra_core::report::{metrics_report, run_report};
 use uecgra_dfg::kernels;
 use uecgra_system::{programs, run_ooo, OooParams};
 
@@ -17,6 +18,8 @@ fn main() {
         "{:<8} {:>9} {:>9} {:>10} | {:>9} {:>9}",
         "kernel", "in-order", "ideal OoO", "OoO gain", "UE POpt", "POpt/OoO"
     );
+    let mut reports = Vec::new();
+    let mut metrics = Vec::new();
     for k in [
         kernels::llist::build_with_hops(400),
         kernels::dither::build_with_pixels(400),
@@ -33,7 +36,11 @@ fn main() {
             _ => programs::bf_program(k.iters),
         };
         let ooo = run_ooo(program, k.mem.clone(), OooParams::default()).expect("runs");
-        let popt = run_kernel(&k, Policy::UePerfOpt, SEED).expect("runs");
+        let popt = RunRequest::new(&k)
+            .policy(Policy::UePerfOpt)
+            .seed(SEED)
+            .run()
+            .expect("runs");
         let iters = k.iters as f64;
         let cpi_io = io.cycles as f64 / iters;
         let cpi_ooo = ooo.cycles as f64 / iters;
@@ -47,6 +54,18 @@ fn main() {
             r2(cpi_ue),
             r2(cpi_ooo / cpi_ue)
         );
+        metrics.push((format!("{}_cpi_inorder", k.name), cpi_io));
+        metrics.push((format!("{}_cpi_ooo", k.name), cpi_ooo));
+        metrics.push((format!("{}_cpi_ue_popt", k.name), cpi_ue));
+        reports.push(run_report(
+            format!("ablation_ooo/{}/{}", k.name, popt.policy.label()),
+            Some(k.name),
+            &popt,
+        ));
+    }
+    if let Some(path) = json_path() {
+        reports.push(metrics_report("ablation_ooo", metrics));
+        write_reports(&path, &reports);
     }
     println!("\nPaper's point reproduced: the OoO core extracts ILP (fft) but cannot");
     println!("accelerate true-dependency chains (llist/bf barely move), while the");

@@ -6,11 +6,12 @@
 //! physically-constrained mapping the paper leaves as future work).
 //! This binary quantifies what that buys.
 
-use uecgra_bench::{header, r2};
+use uecgra_bench::{header, json_path, r2, write_reports};
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::Bitstream;
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::power_map::{power_map_routed, Objective};
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels;
 use uecgra_rtl::fabric::{Fabric, FabricConfig};
 
@@ -30,6 +31,7 @@ fn main() {
         "{:<8} {:>8} {:>10} {:>10} {:>12}",
         "kernel", "E-II", "logical", "routed", "routed gain"
     );
+    let mut metrics = Vec::new();
     for k in [
         kernels::llist::build_with_hops(120),
         kernels::dither::build_with_pixels(120),
@@ -64,6 +66,12 @@ fn main() {
             r2(e_ii / ii_routed),
             r2(100.0 * (ii_logical / ii_routed - 1.0))
         );
+        metrics.push((format!("{}_e_ii", k.name), e_ii));
+        metrics.push((format!("{}_speedup_logical", k.name), e_ii / ii_logical));
+        metrics.push((format!("{}_speedup_routed", k.name), e_ii / ii_routed));
+    }
+    if let Some(path) = json_path() {
+        write_reports(&path, &[metrics_report("ablation_routing_aware", metrics)]);
     }
     println!("\nSeeing routed latencies lets the mapper sprint the cycles that are");
     println!("actually critical after place-and-route and rest slack that only");

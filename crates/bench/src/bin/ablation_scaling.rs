@@ -6,11 +6,12 @@
 //! that selects no PE on a given network, so the UE overhead stays
 //! bounded as unused area grows.
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, write_reports};
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::{Bitstream, PeRole};
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::power_map::{power_map, Objective};
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels;
 use uecgra_vlsi::area::CgraKind;
 use uecgra_vlsi::clock_power::{clock_power, ClockPowerParams, GatingConfig};
@@ -63,17 +64,25 @@ fn main() {
         );
         let gated = clock_power(CgraKind::UltraElastic, &params, &grid, GatingConfig::FULL);
         let used = grid.iter().flatten().filter(|m| m.is_some()).count();
-        format!(
+        let line = format!(
             "{:<8} {:>10} {:>12.2} {:>12.2} {:>13.0}%",
             format!("{dim}x{dim}"),
             used,
             ungated.total_clock_mw(),
             gated.total_clock_mw(),
             100.0 * gated.total_clock_mw() / ungated.total_clock_mw()
-        )
+        );
+        (line, used, ungated.total_clock_mw(), gated.total_clock_mw())
     });
-    for row in rows {
-        println!("{row}");
+    let mut metrics = Vec::new();
+    for (&dim, (line, used, ungated_mw, gated_mw)) in [8usize, 16].iter().zip(&rows) {
+        println!("{line}");
+        metrics.push((format!("{dim}x{dim}_pes_used"), *used as f64));
+        metrics.push((format!("{dim}x{dim}_ungated_clock_mw"), *ungated_mw));
+        metrics.push((format!("{dim}x{dim}_gated_clock_mw"), *gated_mw));
+    }
+    if let Some(path) = json_path() {
+        write_reports(&path, &[metrics_report("ablation_scaling", metrics)]);
     }
     println!("\nThe kernel occupies the same clusters regardless of array size, so");
     println!("hierarchical gating prunes the growing idle region: gated clock power");

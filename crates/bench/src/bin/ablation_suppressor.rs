@@ -6,11 +6,12 @@
 //! sprints. The elasticity-aware suppressor lets aged tokens cross on
 //! unsafe edges, keeping mixed-clock mappings at full throughput.
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, write_reports};
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::Bitstream;
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::power_map::{power_map, Objective};
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels;
 use uecgra_rtl::fabric::{Fabric, FabricConfig, SuppressorKind};
 
@@ -20,6 +21,7 @@ fn main() {
         "{:<8} {:>12} {:>14} {:>14}",
         "kernel", "target", "elast.-aware", "traditional"
     );
+    let mut metrics = Vec::new();
     for k in [
         kernels::llist::build_with_hops(120),
         kernels::dither::build_with_pixels(120),
@@ -42,14 +44,19 @@ fn main() {
             .iter()
             .filter(|m| **m == VfMode::Sprint)
             .count();
+        let elastic = run(SuppressorKind::ElasticityAware);
+        let traditional = run(SuppressorKind::Traditional);
         println!(
             "{:<8} {:>12} {:>14} {:>14}   ({} sprinting nodes)",
-            k.name,
-            k.iters,
-            run(SuppressorKind::ElasticityAware),
-            run(SuppressorKind::Traditional),
-            sprints
+            k.name, k.iters, elastic, traditional, sprints
         );
+        metrics.push((format!("{}_target_iters", k.name), k.iters as f64));
+        metrics.push((format!("{}_elastic_iters", k.name), elastic as f64));
+        metrics.push((format!("{}_traditional_iters", k.name), traditional as f64));
+        metrics.push((format!("{}_sprint_nodes", k.name), sprints as f64));
+    }
+    if let Some(path) = json_path() {
+        write_reports(&path, &[metrics_report("ablation_suppressor", metrics)]);
     }
     println!("\nTraditional suppression deadlocks the POpt mappings: crossings into");
     println!("slower domains have no safe edges, so only the elasticity-aware design");

@@ -9,12 +9,13 @@
 //! DFGs, maps the pair onto one array, and measures aggregate
 //! throughput and utilization.
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, write_reports};
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::Bitstream;
 use uecgra_compiler::frontend::lower;
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::parse::parse;
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels::dither;
 use uecgra_dfg::transform::merge;
 use uecgra_rtl::fabric::{Fabric, FabricConfig};
@@ -75,6 +76,21 @@ fn main() {
     println!("\nTwo instances double aggregate throughput at (near) unchanged II:");
     println!("UE-CGRA benefits are intra-kernel and compose with this replication,");
     println!("exactly the paper's Section VIII-C argument.");
+
+    if let Some(path) = json_path() {
+        let report = metrics_report(
+            "ablation_unroll",
+            vec![
+                ("single_ii".into(), single.0),
+                ("single_utilization".into(), single.1),
+                ("single_pixels_per_cycle".into(), 1.0 / single.0),
+                ("pair_ii".into(), both.0),
+                ("pair_utilization".into(), both.1),
+                ("pair_pixels_per_cycle".into(), 2.0 / both.0),
+            ],
+        );
+        write_reports(&path, &[report]);
+    }
 }
 
 fn run(dfg: &uecgra_dfg::Dfg, marker: uecgra_dfg::NodeId, mem: Vec<u32>) -> (f64, f64) {

@@ -1,7 +1,8 @@
 //! Figure 3: analytical-model case study — sweep per-group VF settings
 //! on the 13-node synthetic DFG and report the frontier.
 
-use uecgra_bench::{header, r2};
+use uecgra_bench::{header, json_path, r2, write_reports};
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels::synthetic;
 use uecgra_model::sweep::sweep_group_modes;
 
@@ -33,7 +34,23 @@ fn main() {
         r2(effmax.efficiency)
     );
     println!("\nPareto frontier (speedup, efficiency):");
-    for p in sweep.pareto_front() {
+    let pareto = sweep.pareto_front();
+    for p in &pareto {
         println!("  {:>5}  {:>5}", r2(p.speedup), r2(p.efficiency));
+    }
+
+    if let Some(path) = json_path() {
+        let mut metrics = vec![
+            ("configurations".into(), sweep.points.len() as f64),
+            ("circled_speedup".into(), circled.speedup),
+            ("circled_efficiency".into(), circled.efficiency),
+            ("same_perf_best_efficiency".into(), effmax.efficiency),
+            ("pareto_points".into(), pareto.len() as f64),
+        ];
+        for (i, p) in pareto.iter().enumerate() {
+            metrics.push((format!("pareto_{i}_speedup"), p.speedup));
+            metrics.push((format!("pareto_{i}_efficiency"), p.efficiency));
+        }
+        write_reports(&path, &[metrics_report("fig03_sweep", metrics)]);
     }
 }

@@ -1,7 +1,8 @@
 //! Figure 7(a): throughput versus inter-PE latency (cycles per hop).
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, write_reports};
 use uecgra_clock::VfMode;
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels::synthetic;
 use uecgra_model::{DfgSimulator, SimConfig};
 
@@ -27,6 +28,7 @@ fn main() {
         "{:<12} {:>8} {:>8} {:>8}",
         "benchmark", "1 cyc", "2 cyc", "3 cyc"
     );
+    let mut metrics = Vec::new();
     for (label, which) in [
         ("cycle-2", Some(2)),
         ("cycle-4", Some(4)),
@@ -41,6 +43,12 @@ fn main() {
             t[2],
             t[0] / t[1]
         );
+        for (hop, thpt) in (1..=3).zip(&t) {
+            metrics.push((format!("{label}_hop{hop}_throughput"), *thpt));
+        }
+    }
+    if let Some(path) = json_path() {
+        write_reports(&path, &[metrics_report("fig07a_latency", metrics)]);
     }
     println!("\nPaper: two-cycle synchronization latency (async FIFOs) degrades");
     println!("recurrence-bound kernels by 2-3x; high performance needs ~zero added latency.");

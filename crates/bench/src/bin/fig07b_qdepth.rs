@@ -1,9 +1,10 @@
 //! Figure 7(b): throughput versus queue depth.
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, write_reports};
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::Bitstream;
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels::synthetic;
 use uecgra_model::{DfgSimulator, SimConfig};
 use uecgra_rtl::fabric::{Fabric, FabricConfig};
@@ -32,6 +33,7 @@ fn main() {
         print!(" {:>8}", format!("depth {d}"));
     }
     println!();
+    let mut metrics = Vec::new();
     for (label, which) in [
         ("cycle-2", Some(2)),
         ("cycle-4", Some(4)),
@@ -40,7 +42,9 @@ fn main() {
     ] {
         print!("{label:<12}");
         for d in depths {
-            print!(" {:>8.3}", throughput(which, d));
+            let t = throughput(which, d);
+            metrics.push((format!("model_{label}_depth{d}_throughput"), t));
+            print!(" {t:>8.3}");
         }
         println!();
     }
@@ -71,9 +75,13 @@ fn main() {
             };
             let act = Fabric::new(&bs, vec![], config).run();
             let ii = act.steady_ii(20).expect("steady state");
+            metrics.push((format!("rtl_cycle-{n}_depth{d}_throughput"), 1.0 / ii));
             print!(" {:>8.3}", 1.0 / ii);
         }
         println!();
     }
     println!("(routed rings run at their placed length, still depth-insensitive)");
+    if let Some(path) = json_path() {
+        write_reports(&path, &[metrics_report("fig07b_qdepth", metrics)]);
+    }
 }

@@ -1,7 +1,8 @@
 //! Figure 7(c): throughput versus sprint frequency.
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, write_reports};
 use uecgra_clock::{ClockSet, VfMode};
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels::synthetic;
 use uecgra_model::{DfgSimulator, SimConfig};
 
@@ -32,12 +33,18 @@ fn main() {
         print!(" {:>8}", format!("{m:.1}x"));
     }
     println!();
+    let mut metrics = Vec::new();
     for n in [2usize, 4, 8] {
         print!("cycle-{n:<6}");
-        for (d, _) in sweeps {
-            print!(" {:>8.3}", throughput(n, d));
+        for (d, m) in sweeps {
+            let t = throughput(n, d);
+            metrics.push((format!("cycle-{n}_sprint_{m:.1}x_throughput"), t));
+            print!(" {t:>8.3}");
         }
         println!();
+    }
+    if let Some(path) = json_path() {
+        write_reports(&path, &[metrics_report("fig07c_sprint", metrics)]);
     }
     println!("\nPaper: speedup is linear in sprint frequency until the producer-rate");
     println!("ceiling; the realistic VLSI region tops out near 1.5x (1.58x pre-quantization).");

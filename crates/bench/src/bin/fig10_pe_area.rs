@@ -1,7 +1,8 @@
 //! Figure 10: PE area versus cycle-time target for the three PE
 //! variants.
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, write_reports};
+use uecgra_core::report::metrics_report;
 use uecgra_vlsi::area::{pe_area, CgraKind, FIG10_CYCLE_TIMES};
 
 fn main() {
@@ -11,10 +12,13 @@ fn main() {
         print!(" {:>9}", kind.label());
     }
     println!();
+    let mut metrics = Vec::new();
     for &t in &FIG10_CYCLE_TIMES {
         print!("{t:<10.2}");
         for kind in CgraKind::ALL {
-            print!(" {:>9.0}", pe_area(kind, t));
+            let a = pe_area(kind, t);
+            metrics.push((format!("{}_at_{t:.2}ns_um2", kind.label()), a));
+            print!(" {a:>9.0}");
         }
         println!();
     }
@@ -26,4 +30,9 @@ fn main() {
         (e / ie - 1.0) * 100.0,
         (ue / ie - 1.0) * 100.0
     );
+    if let Some(path) = json_path() {
+        metrics.push(("e_overhead_pct".into(), (e / ie - 1.0) * 100.0));
+        metrics.push(("ue_overhead_pct".into(), (ue / ie - 1.0) * 100.0));
+        write_reports(&path, &[metrics_report("fig10_pe_area", metrics)]);
+    }
 }

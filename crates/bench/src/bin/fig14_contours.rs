@@ -2,10 +2,11 @@
 //! E-CGRA and both UE-CGRA mappings, rendered as ASCII heat maps with
 //! DVFS-mode glyphs.
 
-use uecgra_bench::header;
+use uecgra_bench::{header, json_path, kernel_run_reports, write_reports};
 use uecgra_clock::VfMode;
 use uecgra_core::experiments::{energy_contour, run_all_policies_many, SEED};
 use uecgra_core::pipeline::CgraRun;
+use uecgra_core::report::metrics_report;
 use uecgra_dfg::kernels;
 
 fn glyph(mode: Option<VfMode>) -> char {
@@ -61,5 +62,26 @@ fn main() {
         print_contour(&runs.e, "E-CGRA");
         print_contour(&runs.popt, "UE-CGRA POpt");
         print_contour(&runs.eopt, "UE-CGRA EOpt");
+    }
+    if let Some(path) = json_path() {
+        let mut reports = Vec::new();
+        for runs in &all {
+            reports.extend(kernel_run_reports(runs));
+            let mut metrics = Vec::new();
+            for (label, run) in [
+                ("E-CGRA", &runs.e),
+                ("UE-CGRA EOpt", &runs.eopt),
+                ("UE-CGRA POpt", &runs.popt),
+            ] {
+                let c = energy_contour(run, label);
+                let hottest = c.energy_pj.iter().flatten().cloned().fold(0.0f64, f64::max);
+                metrics.push((format!("{label}_hottest_pe_pj"), hottest));
+            }
+            reports.push(metrics_report(
+                format!("fig14/{}", runs.kernel.name),
+                metrics,
+            ));
+        }
+        write_reports(&path, &reports);
     }
 }

@@ -7,8 +7,21 @@
 //! combined report is byte-identical no matter how many run at once.
 //! Each child is pinned to `UECGRA_THREADS=1`: the outer fan-out
 //! already uses every worker, and doubling up would oversubscribe.
+//!
+//! Every child also writes its `uecgra-probe` telemetry to a scratch
+//! file via its `--json` flag. This harness parses each child document
+//! with the probe crate's own parser, checks the canonical renderer
+//! reproduces the child's bytes (the round-trip contract CI also
+//! enforces through `uecgra check-report`), and aggregates everything
+//! into one `report.json` (or the path given by its own `--json`
+//! flag). The aggregate inherits the children's determinism: no
+//! wall-clock timings are embedded, so the bytes are identical at any
+//! `UECGRA_THREADS` setting.
 
+use std::path::PathBuf;
 use std::process::{Command, Output};
+use uecgra_bench::json_path;
+use uecgra_probe::RunReport;
 
 fn main() {
     let bins = [
@@ -33,18 +46,51 @@ fn main() {
         "extra_kernels",
     ];
     let self_path = std::env::current_exe().expect("self path");
-    let outputs: Vec<Output> = uecgra_core::par::par_map(&bins, |bin| {
-        Command::new(self_path.with_file_name(bin))
+    let scratch = std::env::temp_dir().join(format!("uecgra-reports-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create report scratch dir");
+
+    let results: Vec<(Output, PathBuf)> = uecgra_core::par::par_map(&bins, |bin| {
+        let report = scratch.join(format!("{bin}.json"));
+        let out = Command::new(self_path.with_file_name(bin))
+            .arg("--json")
+            .arg(&report)
             .env("UECGRA_THREADS", "1")
             .output()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"))
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        (out, report)
     });
-    for (bin, out) in bins.iter().zip(&outputs) {
+
+    let mut all_reports = Vec::new();
+    for (bin, (out, report_path)) in bins.iter().zip(&results) {
         println!("\n================================================================");
         println!("== {bin}");
         println!("================================================================");
         print!("{}", String::from_utf8_lossy(&out.stdout));
         eprint!("{}", String::from_utf8_lossy(&out.stderr));
         assert!(out.status.success(), "{bin} failed");
+
+        // Validate each child's document with the probe parser and
+        // check the round-trip before folding it into the aggregate.
+        let text = std::fs::read_to_string(report_path)
+            .unwrap_or_else(|e| panic!("{bin} wrote no report: {e}"));
+        let reports = RunReport::parse_all(&text)
+            .unwrap_or_else(|e| panic!("{bin} emitted an invalid report: {e}"));
+        assert!(!reports.is_empty(), "{bin} emitted an empty report");
+        assert_eq!(
+            RunReport::render_all(&reports),
+            text,
+            "{bin}: report does not round-trip through the canonical serializer"
+        );
+        all_reports.extend(reports);
     }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let out_path = json_path().unwrap_or_else(|| "report.json".into());
+    std::fs::write(&out_path, RunReport::render_all(&all_reports))
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!(
+        "\naggregated {} validated run report(s) from {} binaries into {out_path}",
+        all_reports.len(),
+        bins.len()
+    );
 }

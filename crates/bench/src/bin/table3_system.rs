@@ -1,9 +1,10 @@
 //! Table III: performance and energy efficiency of the integrated
 //! processor+CGRA system relative to the RV32IM core.
 
-use uecgra_bench::{evaluation_kernels, header, r2};
+use uecgra_bench::{evaluation_kernels, header, json_path, kernel_run_reports, r2, write_reports};
 use uecgra_core::experiments::{run_all_policies_many, table3_row, SEED};
 use uecgra_core::pipeline::Policy;
+use uecgra_core::report::metrics_report;
 
 fn main() {
     header("Table III: system-level results relative to the in-order RV32IM core");
@@ -26,7 +27,7 @@ fn main() {
     // on the main thread in kernel order.
     let all = run_all_policies_many(&evaluation_kernels(), SEED).expect("kernels run");
     let rows = uecgra_core::par::par_map(&all, table3_row);
-    for row in rows {
+    for row in &rows {
         let find = |p: Policy| {
             row.relative
                 .iter()
@@ -54,4 +55,25 @@ fn main() {
     }
     println!("\nPaper bands: E-CGRA perf 0.94-2.31x, UE POpt perf 1.35-3.38x,");
     println!("UE EOpt efficiency 0.80-1.53x relative to the core.");
+
+    if let Some(path) = json_path() {
+        let mut reports: Vec<_> = all.iter().flat_map(kernel_run_reports).collect();
+        for row in &rows {
+            let mut metrics = vec![
+                ("ideal_recurrence".into(), row.ideal_recurrence as f64),
+                ("real_recurrence".into(), row.real_recurrence),
+                ("cfg_cycles_e".into(), row.cfg_cycles.0 as f64),
+                ("cfg_cycles_ue".into(), row.cfg_cycles.1 as f64),
+                ("data_cycles".into(), row.data_cycles as f64),
+                ("core_cycles".into(), row.core_cycles as f64),
+                ("core_energy_pj".into(), row.core_energy_pj),
+            ];
+            for (policy, perf, eff) in &row.relative {
+                metrics.push((format!("{}_perf", policy.label()), *perf));
+                metrics.push((format!("{}_eff", policy.label()), *eff));
+            }
+            reports.push(metrics_report(format!("table3/{}", row.kernel), metrics));
+        }
+        write_reports(&path, &reports);
+    }
 }

@@ -6,7 +6,10 @@
 
 #![warn(missing_docs)]
 
+use uecgra_core::experiments::KernelRuns;
+use uecgra_core::report::run_report;
 use uecgra_dfg::{kernels, Kernel};
+use uecgra_probe::RunReport;
 
 /// The paper's evaluation kernels at full scale (1000 iterations; 32
 /// for `bf`, matching Section VI-C).
@@ -39,6 +42,49 @@ pub fn header(line: &str) {
 /// Format a ratio with 2 decimals.
 pub fn r2(x: f64) -> String {
     format!("{x:.2}")
+}
+
+/// The `--json <path>` flag shared by every reproduction binary.
+///
+/// Returns the requested report path, or `None` when the binary should
+/// only print its table. Other argv entries are left for the binary
+/// (only `smoke_timing` takes any).
+pub fn json_path() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--json" {
+            return Some(argv.next().expect("--json needs a value"));
+        }
+    }
+    None
+}
+
+/// Write a report document (a JSON array of [`RunReport`]s) to `path`
+/// in the probe crate's canonical rendering.
+///
+/// # Panics
+///
+/// Panics on I/O failure — the reproduction binaries treat an
+/// unwritable report path like any other harness failure.
+pub fn write_reports(path: &str, reports: &[RunReport]) {
+    std::fs::write(path, RunReport::render_all(reports))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {} report(s) to {path}", reports.len());
+}
+
+/// Full telemetry reports for one kernel's three policy runs, named
+/// `<kernel>/<policy label>`.
+pub fn kernel_run_reports(runs: &KernelRuns) -> Vec<RunReport> {
+    [&runs.e, &runs.eopt, &runs.popt]
+        .into_iter()
+        .map(|run| {
+            run_report(
+                format!("{}/{}", runs.kernel.name, run.policy.label()),
+                Some(runs.kernel.name),
+                run,
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -3,14 +3,36 @@
 //! ```text
 //! uecgra run <source.loop> [--policy e|eopt|popt] [--seed N]
 //!            [--mem-words N] [--vcd <out.vcd>] [--dump-mem A..B]
+//!            [--json <report.json>]
 //! uecgra compile <source.loop> [--seed N]      # print the mapping
+//! uecgra check-report <report.json>            # round-trip validate
 //! ```
 //!
 //! The source language is the compiler's loop mini-language (see
 //! `uecgra_compiler::parse`): array declarations with base addresses
 //! and one counted loop with carried scalars.
+//!
+//! `--json` writes a `uecgra-probe` [`RunReport`] (including
+//! wall-clock phase timings — the interactive CLI is the one place
+//! timings belong; reproduction binaries omit them to stay
+//! deterministic). `check-report` parses a report with the probe
+//! crate's own parser, re-renders it, and verifies the bytes match —
+//! the round-trip check CI runs.
+//!
+//! Pipeline failures print the full cause chain:
+//!
+//! ```text
+//! uecgra: error: parsing failed
+//!   caused by: parse error at byte 12: expected `in`
+//! ```
 
 use std::process::ExitCode;
+use uecgra_core::error::{error_chain, Error};
+use uecgra_core::pipeline::{CgraRun, Policy};
+use uecgra_core::report::run_report;
+use uecgra_probe::{Phase, ProbeSink as _, RunReport, SchemaError, TimingSink};
+use uecgra_rtl::fabric::{Fabric, FabricConfig};
+
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::{Bitstream, PeRole};
 use uecgra_compiler::frontend::lower;
@@ -18,7 +40,6 @@ use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::opt::optimize;
 use uecgra_compiler::parse::parse;
 use uecgra_compiler::power_map::{power_map_routed, Objective};
-use uecgra_rtl::fabric::{Fabric, FabricConfig};
 
 struct Args {
     command: String,
@@ -28,11 +49,32 @@ struct Args {
     mem_words: usize,
     vcd: Option<String>,
     dump: Option<(usize, usize)>,
+    json: Option<String>,
+}
+
+/// CLI failures: argument/usage problems keep their plain one-line
+/// form; pipeline failures carry the unified [`Error`] so `main` can
+/// print the whole cause chain.
+enum CliError {
+    Usage(String),
+    Pipeline(Error),
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError::Usage(s)
+    }
+}
+
+impl From<Error> for CliError {
+    fn from(e: Error) -> Self {
+        CliError::Pipeline(e)
+    }
 }
 
 fn usage() -> String {
-    "usage: uecgra <run|compile> <source.loop> [--policy e|eopt|popt] \
-     [--seed N] [--mem-words N] [--vcd out.vcd] [--dump-mem A..B]"
+    "usage: uecgra <run|compile|check-report> <file> [--policy e|eopt|popt] \
+     [--seed N] [--mem-words N] [--vcd out.vcd] [--dump-mem A..B] [--json report.json]"
         .to_string()
 }
 
@@ -48,6 +90,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         mem_words: 8192,
         vcd: None,
         dump: None,
+        json: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
@@ -68,6 +111,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     b.parse().map_err(|e| format!("--dump-mem: {e}"))?,
                 ));
             }
+            "--json" => args.json = Some(value()?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -77,19 +121,67 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
 fn main() -> ExitCode {
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
             eprintln!("uecgra: {e}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Pipeline(e)) => {
+            eprintln!("uecgra: {}", error_chain(&e));
             ExitCode::FAILURE
         }
     }
 }
 
-fn real_main() -> Result<(), String> {
+fn read_file(path: &str) -> Result<String, Error> {
+    std::fs::read_to_string(path).map_err(|e| Error::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), Error> {
+    std::fs::write(path, contents).map_err(|e| Error::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Parse, re-render and byte-compare a report document (the CI
+/// round-trip check).
+fn check_report(path: &str) -> Result<(), Error> {
+    let text = read_file(path)?;
+    let reports = RunReport::parse_all(&text)?;
+    let rendered = RunReport::render_all(&reports);
+    if rendered != text {
+        return Err(Error::Report(SchemaError {
+            message: format!("`{path}` does not round-trip through the canonical serializer"),
+        }));
+    }
+    println!(
+        "report OK: {} run(s) round-trip byte-identically",
+        reports.len()
+    );
+    Ok(())
+}
+
+fn timed<T>(sink: &mut TimingSink, phase: Phase, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    sink.phase_done(phase, start.elapsed().as_nanos() as u64);
+    out
+}
+
+fn real_main() -> Result<(), CliError> {
     let args = parse_args(std::env::args())?;
-    let src = std::fs::read_to_string(&args.source)
-        .map_err(|e| format!("cannot read {}: {e}", args.source))?;
-    let program = parse(&src).map_err(|e| e.to_string())?;
-    let raw = lower(&program.nest).map_err(|e| e.to_string())?;
+
+    if args.command == "check-report" {
+        return Ok(check_report(&args.source)?);
+    }
+
+    let mut sink = TimingSink::new();
+    let src = read_file(&args.source)?;
+    let program = timed(&mut sink, Phase::Parse, || parse(&src)).map_err(Error::from)?;
+    let raw = timed(&mut sink, Phase::Lower, || lower(&program.nest)).map_err(Error::from)?;
 
     // CSE + DCE before mapping.
     let optimized = optimize(&raw.dfg);
@@ -98,7 +190,7 @@ fn real_main() -> Result<(), String> {
         .get(raw.induction_phi.index())
         .copied()
         .flatten()
-        .ok_or("the loop has no side effects; nothing to run")?;
+        .ok_or_else(|| "the loop has no side effects; nothing to run".to_string())?;
     struct Lowered {
         dfg: uecgra_dfg::Dfg,
         induction_phi: uecgra_dfg::NodeId,
@@ -114,23 +206,31 @@ fn real_main() -> Result<(), String> {
         uecgra_dfg::analysis::recurrence_mii(&lowered.dfg)
     );
 
-    let mapped = MappedKernel::map(&lowered.dfg, ArrayShape::default(), args.seed)
-        .map_err(|e| e.to_string())?;
+    let mapped = timed(&mut sink, Phase::PlaceRoute, || {
+        MappedKernel::map(&lowered.dfg, ArrayShape::default(), args.seed)
+    })
+    .map_err(Error::from)?;
     eprintln!(
         "mapped: {:.0}% utilization, wirelength {}",
         mapped.utilization() * 100.0,
         mapped.wirelength()
     );
 
+    let policy = match args.policy.as_str() {
+        "e" => Policy::ECgra,
+        "eopt" => Policy::UeEnergyOpt,
+        "popt" => Policy::UePerfOpt,
+        other => return Err(format!("unknown policy {other} (use e|eopt|popt)").into()),
+    };
     let mem = vec![0u32; args.mem_words];
     let extra: Vec<u32> = lowered
         .dfg
         .edges()
         .map(|(id, _)| mapped.extra_hops(id))
         .collect();
-    let modes = match args.policy.as_str() {
-        "e" => vec![VfMode::Nominal; lowered.dfg.node_count()],
-        "eopt" => {
+    let modes = timed(&mut sink, Phase::PowerMap, || match policy {
+        Policy::ECgra => vec![VfMode::Nominal; lowered.dfg.node_count()],
+        Policy::UeEnergyOpt => {
             power_map_routed(
                 &lowered.dfg,
                 mem.clone(),
@@ -140,7 +240,7 @@ fn real_main() -> Result<(), String> {
             )
             .node_modes
         }
-        "popt" => {
+        Policy::UePerfOpt => {
             power_map_routed(
                 &lowered.dfg,
                 mem.clone(),
@@ -150,11 +250,12 @@ fn real_main() -> Result<(), String> {
             )
             .node_modes
         }
-        other => return Err(format!("unknown policy {other} (use e|eopt|popt)")),
-    };
+    });
 
-    let bitstream =
-        Bitstream::assemble(&lowered.dfg, &mapped, &modes).map_err(|e| e.to_string())?;
+    let bitstream = timed(&mut sink, Phase::Assemble, || {
+        Bitstream::assemble(&lowered.dfg, &mapped, &modes)
+    })
+    .map_err(Error::from)?;
     let (compute, route, gated) = bitstream.role_counts();
     eprintln!("bitstream: {compute} compute, {route} route-only, {gated} gated PEs");
 
@@ -171,7 +272,7 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
     if args.command != "run" {
-        return Err(usage());
+        return Err(usage().into());
     }
 
     let config = FabricConfig {
@@ -179,7 +280,9 @@ fn real_main() -> Result<(), String> {
         record_events: args.vcd.is_some(),
         ..FabricConfig::default()
     };
-    let activity = Fabric::new(&bitstream, mem, config).run();
+    let activity = timed(&mut sink, Phase::Simulate, || {
+        Fabric::new(&bitstream, mem, config).run()
+    });
     println!(
         "ran {} iterations in {:.0} nominal cycles (II {:.2}), stop: {:?}",
         activity.iterations(),
@@ -188,13 +291,36 @@ fn real_main() -> Result<(), String> {
         activity.stop
     );
 
+    let iterations = activity.iterations();
+    let run = CgraRun {
+        policy,
+        mapped,
+        bitstream,
+        modes,
+        activity,
+        iterations,
+    };
+
     if let Some(path) = &args.vcd {
-        let vcd = uecgra_rtl::trace::to_vcd(&activity, &bitstream);
-        std::fs::write(path, vcd).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let vcd = uecgra_rtl::trace::to_vcd(&run.activity, &run.bitstream).map_err(Error::from)?;
+        write_file(path, &vcd)?;
         eprintln!("wrote waveform to {path}");
     }
+    if let Some(path) = &args.json {
+        let source_name = args
+            .source
+            .rsplit('/')
+            .next()
+            .unwrap_or(&args.source)
+            .trim_end_matches(".loop");
+        let mut report = run_report(format!("{source_name}/{}", policy.label()), None, &run);
+        report.seed = Some(args.seed);
+        report.timings = Some(sink.timings);
+        write_file(path, &RunReport::render_all(std::slice::from_ref(&report)))?;
+        eprintln!("wrote report to {path}");
+    }
     if let Some((a, b)) = args.dump {
-        for (i, chunk) in activity.mem[a..b.min(activity.mem.len())]
+        for (i, chunk) in run.activity.mem[a..b.min(run.activity.mem.len())]
             .chunks(8)
             .enumerate()
         {

@@ -10,7 +10,7 @@
 use crate::pipeline::{CgraRun, Policy};
 use uecgra_clock::VfMode;
 use uecgra_vlsi::area::CgraKind;
-use uecgra_vlsi::clock_power::{clock_power, ClockPowerParams, GatingConfig};
+use uecgra_vlsi::clock_power::{clock_power_from_edges, ClockPowerParams, GatingConfig};
 use uecgra_vlsi::energy::{bypass_energy_pj, op_energy_pj, stall_energy_pj};
 use uecgra_vlsi::ClockPowerBreakdown;
 
@@ -110,8 +110,18 @@ pub fn cgra_energy(run: &CgraRun, gating: GatingConfig) -> CgraEnergy {
         }
     }
 
+    // Clock power from the probe layer's measured per-domain edge
+    // counters (bit-identical to the hand frequency ratios for any
+    // run covering a full hyperperiod; see
+    // `clock_power_from_edges`).
     let grid = clock_grid(run);
-    let clock = clock_power(kind, &ClockPowerParams::default(), &grid, gating);
+    let clock = clock_power_from_edges(
+        kind,
+        &ClockPowerParams::default(),
+        &grid,
+        gating,
+        run.activity.domain_edges_hyper,
+    );
     let runtime_ns = run.runtime_ns();
     let clock_pj = (clock.total_clock_mw() + clock.idle_logic_mw + clock.leakage_mw) * runtime_ns;
 
@@ -164,6 +174,30 @@ mod tests {
         assert!(e.total_pj() > 0.0);
         assert!(e.per_iteration_pj() > 1.0);
         assert!(e.average_power_mw() > 0.0 && e.average_power_mw() < 50.0);
+    }
+
+    #[test]
+    fn measured_clock_path_matches_hand_ratios_exactly() {
+        // The acceptance bar for the probe-driven clock-power path:
+        // for every policy and gating row of Table I, the breakdown
+        // computed from the run's measured `domain_edges_hyper` is
+        // bit-identical to the hand-computed frequency-ratio path.
+        use uecgra_vlsi::clock_power::clock_power;
+        for policy in Policy::ALL {
+            let run = dither_run(policy);
+            assert_eq!(run.activity.domain_edges_hyper, [2, 6, 9]);
+            let grid = clock_grid(&run);
+            for gating in [
+                GatingConfig::NONE,
+                GatingConfig::POWER_ONLY,
+                GatingConfig::FULL,
+            ] {
+                let hand =
+                    clock_power(kind_of(policy), &ClockPowerParams::default(), &grid, gating);
+                let measured = cgra_energy(&run, gating).clock;
+                assert_eq!(measured, hand, "{policy:?}/{gating:?}");
+            }
+        }
     }
 
     #[test]

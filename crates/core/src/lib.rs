@@ -32,8 +32,10 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod error;
 pub mod experiments;
 pub mod pipeline;
+pub mod report;
 
 /// The deterministic parallel executor the evaluation harnesses use
 /// (re-exported from `uecgra-util` so downstream crates need only
@@ -44,4 +46,6 @@ pub mod par {
 }
 
 pub use energy::{cgra_energy, CgraEnergy};
-pub use pipeline::{run_kernel, run_kernels_parallel, CgraRun, PipelineError, Policy};
+pub use error::{error_chain, Error};
+pub use pipeline::{run_kernel, run_kernels_parallel, CgraRun, PipelineError, Policy, RunRequest};
+pub use report::{metrics_report, run_report};

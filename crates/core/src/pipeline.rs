@@ -1,18 +1,36 @@
 //! The end-to-end UE-CGRA pipeline: kernel → map → power-map →
 //! bitstream → cycle-level execution.
 //!
-//! [`run_kernel`] is the single entry point the experiments use: it
-//! compiles a kernel for the 8×8 array under one of three policies —
-//! the all-nominal elastic baseline (**E-CGRA**), or the ultra-elastic
-//! fabric with the performance- or energy-optimized power mapping
-//! (**UE-CGRA POpt / EOpt**) — and executes it to completion on the
-//! spatial simulator.
+//! [`RunRequest`] is the entry point: it compiles a kernel for the
+//! 8×8 array under one of three policies — the all-nominal elastic
+//! baseline (**E-CGRA**), or the ultra-elastic fabric with the
+//! performance- or energy-optimized power mapping (**UE-CGRA POpt /
+//! EOpt**) — and executes it to completion on the spatial simulator:
+//!
+//! ```
+//! use uecgra_core::pipeline::{Policy, RunRequest};
+//! use uecgra_dfg::kernels;
+//!
+//! let kernel = kernels::llist::build_with_hops(40);
+//! let run = RunRequest::new(&kernel)
+//!     .policy(Policy::UePerfOpt)
+//!     .seed(7)
+//!     .run()
+//!     .unwrap();
+//! assert!(run.ii() > 0.0);
+//! ```
+//!
+//! The builder exposes the knobs the figure harnesses need (queue
+//! depth, iteration cap, event recording, a [`ProbeSink`] for phase
+//! timings); [`run_kernel`] survives as a thin positional wrapper.
 
+use crate::error::Error;
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::Bitstream;
-use uecgra_compiler::mapping::{ArrayShape, MapError, MappedKernel};
+use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::power_map::{power_map_routed, Objective};
 use uecgra_dfg::Kernel;
+use uecgra_probe::{Phase, ProbeSink};
 use uecgra_rtl::fabric::{Fabric, FabricConfig, FabricStop};
 use uecgra_rtl::Activity;
 
@@ -81,93 +99,189 @@ impl CgraRun {
     }
 }
 
-/// Errors from the pipeline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
-    /// Mapping failed.
-    Map(MapError),
-    /// The fabric did not terminate.
-    DidNotTerminate,
-}
+/// Errors from the pipeline — an alias for the unified workspace
+/// [`Error`](crate::error::Error), kept for source compatibility with
+/// the original two-variant enum.
+pub type PipelineError = Error;
 
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::Map(e) => write!(f, "mapping failed: {e}"),
-            PipelineError::DidNotTerminate => write!(f, "fabric execution did not terminate"),
+/// Run `f`, reporting its wall-clock duration to `sink` when one is
+/// attached. With no sink this is just a call — no clock reads, no
+/// allocation — which keeps the hot fan-out paths cheap.
+fn timed<T>(sink: &mut Option<&mut dyn ProbeSink>, phase: Phase, f: impl FnOnce() -> T) -> T {
+    match sink {
+        None => f(),
+        Some(s) => {
+            let start = std::time::Instant::now();
+            let out = f();
+            s.phase_done(phase, start.elapsed().as_nanos() as u64);
+            out
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+/// A configured compile-and-execute request: the builder-style
+/// replacement for the positional [`run_kernel`].
+///
+/// Defaults match `run_kernel`'s historical behavior: E-CGRA policy,
+/// seed 7, paper-default queue depth 2, run to quiescence, no event
+/// recording, no probe.
+pub struct RunRequest<'a> {
+    kernel: &'a Kernel,
+    policy: Policy,
+    seed: u64,
+    iterations: Option<u64>,
+    queue_depth: usize,
+    record_events: bool,
+    sink: Option<&'a mut dyn ProbeSink>,
+}
 
-impl From<MapError> for PipelineError {
-    fn from(e: MapError) -> Self {
-        PipelineError::Map(e)
+impl<'a> RunRequest<'a> {
+    /// Start a request for `kernel` with default settings.
+    pub fn new(kernel: &'a Kernel) -> RunRequest<'a> {
+        RunRequest {
+            kernel,
+            policy: Policy::ECgra,
+            seed: 7,
+            iterations: None,
+            queue_depth: 2,
+            record_events: false,
+            sink: None,
+        }
+    }
+
+    /// Select the machine/policy (default: [`Policy::ECgra`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the mapping seed (default: 7).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Stop after the marker PE has fired `n` times instead of running
+    /// to quiescence.
+    pub fn iterations(mut self, n: u64) -> Self {
+        self.iterations = Some(n);
+        self
+    }
+
+    /// Input-queue capacity (default: 2, the paper's).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Record per-event (tick, PE) firings for waveform dumping.
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.record_events = on;
+        self
+    }
+
+    /// Attach a [`ProbeSink`] to receive wall-clock phase timings.
+    pub fn probe(mut self, sink: &'a mut dyn ProbeSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Compile and execute.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pipeline [`Error`] of the first failing stage:
+    /// mapping, bitstream assembly, or a fabric run that hits its tick
+    /// limit.
+    pub fn run(self) -> Result<CgraRun, Error> {
+        let RunRequest {
+            kernel,
+            policy,
+            seed,
+            iterations,
+            queue_depth,
+            record_events,
+            mut sink,
+        } = self;
+
+        let mapped = timed(&mut sink, Phase::PlaceRoute, || {
+            MappedKernel::map(&kernel.dfg, ArrayShape::default(), seed)
+        })?;
+        // Routing-aware power mapping: feed the routed per-edge hop
+        // counts into MeasureEnergyDelay so rest/sprint decisions see
+        // physical recurrence lengths.
+        let extra: Vec<u32> = kernel
+            .dfg
+            .edges()
+            .map(|(id, _)| mapped.extra_hops(id))
+            .collect();
+
+        let modes = timed(&mut sink, Phase::PowerMap, || match policy {
+            Policy::ECgra => vec![VfMode::Nominal; kernel.dfg.node_count()],
+            Policy::UeEnergyOpt => {
+                power_map_routed(
+                    &kernel.dfg,
+                    kernel.mem.clone(),
+                    kernel.iter_marker,
+                    Objective::Energy,
+                    &extra,
+                )
+                .node_modes
+            }
+            Policy::UePerfOpt => {
+                power_map_routed(
+                    &kernel.dfg,
+                    kernel.mem.clone(),
+                    kernel.iter_marker,
+                    Objective::Performance,
+                    &extra,
+                )
+                .node_modes
+            }
+        });
+
+        let bitstream = timed(&mut sink, Phase::Assemble, || {
+            Bitstream::assemble(&kernel.dfg, &mapped, &modes)
+        })?;
+        let config = FabricConfig {
+            marker: Some(mapped.coord_of(kernel.iter_marker)),
+            max_marker_fires: iterations,
+            queue_capacity: queue_depth,
+            record_events,
+            ..FabricConfig::default()
+        };
+        let activity = timed(&mut sink, Phase::Simulate, || {
+            Fabric::new(&bitstream, kernel.mem.clone(), config).run()
+        });
+        if activity.stop == FabricStop::TickLimit {
+            return Err(Error::DidNotTerminate);
+        }
+
+        Ok(CgraRun {
+            policy,
+            mapped,
+            bitstream,
+            modes,
+            activity,
+            iterations: kernel.iters as u64,
+        })
     }
 }
 
 /// Compile `kernel` under `policy` and execute it to completion on the
 /// 8×8 fabric.
 ///
+/// Deprecated-style wrapper: prefer [`RunRequest`], which exposes the
+/// remaining knobs (iteration cap, queue depth, event recording,
+/// probe sinks). This positional form is kept so existing harnesses
+/// migrate mechanically.
+///
 /// # Errors
 ///
 /// Returns a [`PipelineError`] if mapping fails or execution hits the
 /// tick limit.
 pub fn run_kernel(kernel: &Kernel, policy: Policy, seed: u64) -> Result<CgraRun, PipelineError> {
-    let mapped = MappedKernel::map(&kernel.dfg, ArrayShape::default(), seed)?;
-    // Routing-aware power mapping: feed the routed per-edge hop counts
-    // into MeasureEnergyDelay so rest/sprint decisions see physical
-    // recurrence lengths.
-    let extra: Vec<u32> = kernel
-        .dfg
-        .edges()
-        .map(|(id, _)| mapped.extra_hops(id))
-        .collect();
-
-    let modes = match policy {
-        Policy::ECgra => vec![VfMode::Nominal; kernel.dfg.node_count()],
-        Policy::UeEnergyOpt => {
-            power_map_routed(
-                &kernel.dfg,
-                kernel.mem.clone(),
-                kernel.iter_marker,
-                Objective::Energy,
-                &extra,
-            )
-            .node_modes
-        }
-        Policy::UePerfOpt => {
-            power_map_routed(
-                &kernel.dfg,
-                kernel.mem.clone(),
-                kernel.iter_marker,
-                Objective::Performance,
-                &extra,
-            )
-            .node_modes
-        }
-    };
-
-    let bitstream =
-        Bitstream::assemble(&kernel.dfg, &mapped, &modes).expect("routed mappings always assemble");
-    let config = FabricConfig {
-        marker: Some(mapped.coord_of(kernel.iter_marker)),
-        ..FabricConfig::default()
-    };
-    let activity = Fabric::new(&bitstream, kernel.mem.clone(), config).run();
-    if activity.stop != FabricStop::Quiesced {
-        return Err(PipelineError::DidNotTerminate);
-    }
-
-    Ok(CgraRun {
-        policy,
-        mapped,
-        bitstream,
-        modes,
-        activity,
-        iterations: kernel.iters as u64,
-    })
+    RunRequest::new(kernel).policy(policy).seed(seed).run()
 }
 
 /// Compile and execute every `(kernel, policy)` pair across worker

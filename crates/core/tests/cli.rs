@@ -79,6 +79,65 @@ fn vcd_flag_writes_a_waveform() {
 }
 
 #[test]
+fn json_report_round_trips_through_check_report() {
+    let src = write_source("uecgra_cli_json.loop", ACCUMULATE);
+    let json = std::env::temp_dir().join("uecgra_cli_report.json");
+    let out = Command::new(bin())
+        .args([
+            "run",
+            src.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote report to"));
+
+    let text = std::fs::read_to_string(&json).expect("report written");
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    // The interactive CLI is the one writer that embeds wall-clock
+    // phase timings.
+    assert!(text.contains("\"timings\""), "{text}");
+    assert!(text.contains("\"simulate_ns\""), "{text}");
+
+    // The CLI's own validator accepts its own output.
+    let out = Command::new(bin())
+        .args(["check-report", json.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("round-trip byte-identically"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn check_report_rejects_non_canonical_documents() {
+    // Valid JSON, but not the canonical rendering (wrong whitespace),
+    // so the byte-for-byte round-trip check must fail.
+    let path = std::env::temp_dir().join("uecgra_cli_noncanon.json");
+    std::fs::write(&path, "[ ]").expect("write");
+    let out = Command::new(bin())
+        .args(["check-report", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("does not round-trip"), "{stderr}");
+}
+
+#[test]
 fn parse_errors_are_reported_with_nonzero_exit() {
     let src = write_source("uecgra_cli_bad.loop", "for i in 0..4 { x = ; }");
     let out = Command::new(bin())

@@ -1,0 +1,41 @@
+//! Golden snapshot of one dither run's `RunReport` JSON: pins the
+//! probe schema's on-disk shape (field order, number formatting,
+//! indentation) so accidental serializer or instrumentation drift is
+//! caught by CI. Intentional schema changes: regenerate with
+//! `UECGRA_BLESS=1 cargo test -p uecgra-core --test golden_report`.
+
+use uecgra_core::pipeline::{Policy, RunRequest};
+use uecgra_core::report::run_report;
+use uecgra_dfg::kernels;
+use uecgra_probe::RunReport;
+
+#[test]
+fn dither_popt_report_matches_golden() {
+    let k = kernels::dither::build_with_pixels(60);
+    let run = RunRequest::new(&k)
+        .policy(Policy::UePerfOpt)
+        .seed(7)
+        .run()
+        .expect("dither compiles and runs");
+    let mut report = run_report("dither/UE-CGRA POpt", Some("dither"), &run);
+    report.seed = Some(7);
+    let text = RunReport::render_all(std::slice::from_ref(&report));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/dither_popt.json");
+    if std::env::var_os("UECGRA_BLESS").is_some() {
+        std::fs::write(path, &text).expect("write golden");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(path).expect("golden file exists (UECGRA_BLESS=1 regenerates)");
+    assert_eq!(
+        text, golden,
+        "RunReport serialization drifted from the checked-in golden \
+         (UECGRA_BLESS=1 regenerates after intentional schema changes)"
+    );
+    // The golden document itself parses back to the same report.
+    assert_eq!(
+        RunReport::parse_all(&golden).expect("golden parses"),
+        vec![report]
+    );
+}

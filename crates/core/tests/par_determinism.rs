@@ -8,8 +8,10 @@
 
 use uecgra_core::experiments::SEED;
 use uecgra_core::pipeline::run_kernels_parallel;
+use uecgra_core::report::run_report;
 use uecgra_dfg::kernels::{self, synthetic};
 use uecgra_model::sweep::{sweep_group_modes, SweepResult};
+use uecgra_probe::RunReport;
 
 fn fig3_sweep() -> SweepResult {
     let cs = synthetic::fig3_case_study();
@@ -47,6 +49,17 @@ fn one_thread_and_eight_threads_are_bit_identical() {
             assert_eq!(r_s.activity, r_p.activity, "Activity diverged");
             assert_eq!(r_s.modes, r_p.modes, "mode assignment diverged");
             assert_eq!(r_s.bitstream.grid, r_p.bitstream.grid, "bitstream diverged");
+
+            // The rendered telemetry report — the artifact
+            // `reproduce_all` aggregates into report.json — must be
+            // byte-identical too (DESIGN.md §9 extends to §10).
+            let rep_s = run_report("det", None, r_s);
+            let rep_p = run_report("det", None, r_p);
+            assert_eq!(
+                RunReport::render_all(std::slice::from_ref(&rep_s)),
+                RunReport::render_all(std::slice::from_ref(&rep_p)),
+                "report bytes diverged across thread counts"
+            );
         }
     }
 }

@@ -1,0 +1,681 @@
+//! The telemetry report schema.
+//!
+//! A [`RunReport`] captures one compiled-and-executed kernel (or one
+//! figure computation) in machine-readable form: identity (kernel,
+//! policy, seed), aggregate results (iterations, ticks, II), per-PE
+//! activity with the edge-classified stall taxonomy ([`PeReport`]),
+//! input-queue occupancy histograms ([`QueueReport`]), per-clock-
+//! domain edge counters, optional wall-clock [`PhaseTimings`], and a
+//! free-form scalar `metrics` table for figure binaries whose output
+//! is not per-PE activity.
+//!
+//! Every type serializes through [`Json`] with a fixed field order,
+//! so a report is byte-stable; `from_json` is the matching parser
+//! used by the round-trip CI check and by `reproduce_all` when it
+//! aggregates child reports.
+
+use crate::json::{Json, JsonError};
+
+/// Version stamp embedded in every report.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A schema-level decoding error (structurally valid JSON that does
+/// not describe a report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// What was wrong, with the offending field path.
+    pub message: String,
+}
+
+impl SchemaError {
+    fn new(message: impl Into<String>) -> SchemaError {
+        SchemaError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid report: {}", self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<JsonError> for SchemaError {
+    fn from(e: JsonError) -> Self {
+        SchemaError::new(e.to_string())
+    }
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, SchemaError> {
+    v.get(key)
+        .ok_or_else(|| SchemaError::new(format!("missing field `{key}`")))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, SchemaError> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| SchemaError::new(format!("field `{key}` must be a non-negative integer")))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, SchemaError> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| SchemaError::new(format!("field `{key}` must be a number")))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, SchemaError> {
+    Ok(req(v, key)?
+        .as_str()
+        .ok_or_else(|| SchemaError::new(format!("field `{key}` must be a string")))?
+        .to_string())
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, SchemaError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+            SchemaError::new(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, SchemaError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| SchemaError::new(format!("field `{key}` must be a number"))),
+    }
+}
+
+fn opt_str(v: &Json, key: &str) -> Result<Option<String>, SchemaError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| SchemaError::new(format!("field `{key}` must be a string"))),
+    }
+}
+
+const DOMAINS: [&str; 3] = ["rest", "nominal", "sprint"];
+
+fn domains_json(values: [u64; 3]) -> Json {
+    Json::Object(
+        DOMAINS
+            .iter()
+            .zip(values)
+            .map(|(k, v)| (k.to_string(), Json::Uint(v)))
+            .collect(),
+    )
+}
+
+fn domains_from(v: &Json, key: &str) -> Result<[u64; 3], SchemaError> {
+    let obj = req(v, key)?;
+    let mut out = [0u64; 3];
+    for (i, name) in DOMAINS.iter().enumerate() {
+        out[i] = req_u64(obj, name)
+            .map_err(|_| SchemaError::new(format!("field `{key}.{name}` must be an integer")))?;
+    }
+    Ok(out)
+}
+
+/// Wall-clock pipeline phase timings in nanoseconds.
+///
+/// Timings are the one nondeterministic part of a report: the
+/// reproduction binaries omit them entirely (keeping their reports
+/// bit-identical across thread counts), while the interactive CLI
+/// includes them. `place_route_ns` covers placement and routing
+/// together — the mapper interleaves them in its rip-up-and-retry
+/// loop, so they are not separable from outside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// Source-text parsing (CLI only; zero for library kernels).
+    pub parse_ns: u64,
+    /// AST → DFG lowering and optimization (CLI only).
+    pub lower_ns: u64,
+    /// Placement + routing.
+    pub place_route_ns: u64,
+    /// Rest/nominal/sprint power mapping.
+    pub power_map_ns: u64,
+    /// Bitstream assembly.
+    pub assemble_ns: u64,
+    /// Cycle-level fabric execution.
+    pub simulate_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.parse_ns
+            + self.lower_ns
+            + self.place_route_ns
+            + self.power_map_ns
+            + self.assemble_ns
+            + self.simulate_ns
+    }
+
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("parse_ns", Json::Uint(self.parse_ns)),
+            ("lower_ns", Json::Uint(self.lower_ns)),
+            ("place_route_ns", Json::Uint(self.place_route_ns)),
+            ("power_map_ns", Json::Uint(self.power_map_ns)),
+            ("assemble_ns", Json::Uint(self.assemble_ns)),
+            ("simulate_ns", Json::Uint(self.simulate_ns)),
+            ("total_ns", Json::Uint(self.total_ns())),
+        ])
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<PhaseTimings, SchemaError> {
+        Ok(PhaseTimings {
+            parse_ns: req_u64(v, "parse_ns")?,
+            lower_ns: req_u64(v, "lower_ns")?,
+            place_route_ns: req_u64(v, "place_route_ns")?,
+            power_map_ns: req_u64(v, "power_map_ns")?,
+            assemble_ns: req_u64(v, "assemble_ns")?,
+            simulate_ns: req_u64(v, "simulate_ns")?,
+        })
+    }
+}
+
+/// Per-PE activity with edge-classified stall attribution.
+///
+/// The edge-classified counters partition the PE's local rising
+/// edges: every rising edge of a configured (non-power-gated) PE is
+/// exactly one of fired / operand-starved / suppressor-gated /
+/// backpressured / clock-gateable idle, so
+///
+/// ```text
+/// fire_edges + operand_stall_edges + suppressed_stall_edges
+///   + backpressure_stall_edges + gated_ticks == rising_edges
+/// ```
+///
+/// holds for every PE (the conservation invariant, enforced by a
+/// property test over random kernels). `input_stalls`/`output_stalls`
+/// are the legacy per-cause event counts (one edge can count several)
+/// that the energy model prices; the edge classification is what the
+/// clock-gating analysis consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeReport {
+    /// Column.
+    pub x: u64,
+    /// Row.
+    pub y: u64,
+    /// Op mnemonic, `"bypass"` for route-only PEs.
+    pub op: String,
+    /// Clock domain: `"rest"`, `"nominal"` or `"sprint"`.
+    pub mode: String,
+    /// Local rising edges while the run was live.
+    pub rising_edges: u64,
+    /// Op firings.
+    pub fires: u64,
+    /// Bypass tokens forwarded.
+    pub bypass_tokens: u64,
+    /// Edges on which the PE fired and/or forwarded at least once.
+    pub fire_edges: u64,
+    /// Edges starved of an operand (a required token absent).
+    pub operand_stall_edges: u64,
+    /// Edges where a token was present but the bisynchronous
+    /// suppressor (or its one-period register-aging analogue) held it.
+    pub suppressed_stall_edges: u64,
+    /// Edges blocked by downstream backpressure only.
+    pub backpressure_stall_edges: u64,
+    /// Idle edges: nothing to do, nothing blocked — the local clock
+    /// could have been gated.
+    pub gated_ticks: u64,
+    /// Legacy per-cause input-stall events (≥ stall edges).
+    pub input_stalls: u64,
+    /// Legacy per-cause output-stall events.
+    pub output_stalls: u64,
+    /// SRAM accesses (memory PEs).
+    pub sram_accesses: u64,
+}
+
+impl PeReport {
+    /// Does the edge classification partition the rising edges?
+    pub fn conserves_edges(&self) -> bool {
+        self.fire_edges
+            + self.operand_stall_edges
+            + self.suppressed_stall_edges
+            + self.backpressure_stall_edges
+            + self.gated_ticks
+            == self.rising_edges
+    }
+
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("x", Json::Uint(self.x)),
+            ("y", Json::Uint(self.y)),
+            ("op", Json::Str(self.op.clone())),
+            ("mode", Json::Str(self.mode.clone())),
+            ("rising_edges", Json::Uint(self.rising_edges)),
+            ("fires", Json::Uint(self.fires)),
+            ("bypass_tokens", Json::Uint(self.bypass_tokens)),
+            ("fire_edges", Json::Uint(self.fire_edges)),
+            ("operand_stall_edges", Json::Uint(self.operand_stall_edges)),
+            (
+                "suppressed_stall_edges",
+                Json::Uint(self.suppressed_stall_edges),
+            ),
+            (
+                "backpressure_stall_edges",
+                Json::Uint(self.backpressure_stall_edges),
+            ),
+            ("gated_ticks", Json::Uint(self.gated_ticks)),
+            ("input_stalls", Json::Uint(self.input_stalls)),
+            ("output_stalls", Json::Uint(self.output_stalls)),
+            ("sram_accesses", Json::Uint(self.sram_accesses)),
+        ])
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<PeReport, SchemaError> {
+        Ok(PeReport {
+            x: req_u64(v, "x")?,
+            y: req_u64(v, "y")?,
+            op: req_str(v, "op")?,
+            mode: req_str(v, "mode")?,
+            rising_edges: req_u64(v, "rising_edges")?,
+            fires: req_u64(v, "fires")?,
+            bypass_tokens: req_u64(v, "bypass_tokens")?,
+            fire_edges: req_u64(v, "fire_edges")?,
+            operand_stall_edges: req_u64(v, "operand_stall_edges")?,
+            suppressed_stall_edges: req_u64(v, "suppressed_stall_edges")?,
+            backpressure_stall_edges: req_u64(v, "backpressure_stall_edges")?,
+            gated_ticks: req_u64(v, "gated_ticks")?,
+            input_stalls: req_u64(v, "input_stalls")?,
+            output_stalls: req_u64(v, "output_stalls")?,
+            sram_accesses: req_u64(v, "sram_accesses")?,
+        })
+    }
+}
+
+/// Input-queue occupancy histogram of one PE.
+///
+/// `occupancy[d]` counts, over the PE's local rising edges, how many
+/// of its four direction queues held exactly `d` tokens — so for the
+/// paper's depth-2 queues the histogram has three buckets (0, 1, 2)
+/// and sums to `4 × rising_edges`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueueReport {
+    /// Column.
+    pub x: u64,
+    /// Row.
+    pub y: u64,
+    /// Samples per depth, indexed by occupancy.
+    pub occupancy: Vec<u64>,
+}
+
+impl QueueReport {
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("x", Json::Uint(self.x)),
+            ("y", Json::Uint(self.y)),
+            (
+                "occupancy",
+                Json::Array(self.occupancy.iter().map(|&n| Json::Uint(n)).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<QueueReport, SchemaError> {
+        let occupancy = req(v, "occupancy")?
+            .as_array()
+            .ok_or_else(|| SchemaError::new("field `occupancy` must be an array"))?
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .ok_or_else(|| SchemaError::new("occupancy entries must be integers"))
+            })
+            .collect::<Result<Vec<u64>, SchemaError>>()?;
+        Ok(QueueReport {
+            x: req_u64(v, "x")?,
+            y: req_u64(v, "y")?,
+            occupancy,
+        })
+    }
+}
+
+/// One run's full telemetry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Report name (kernel run label or figure identifier).
+    pub name: String,
+    /// Kernel name, when the report describes a kernel execution.
+    pub kernel: Option<String>,
+    /// Policy label (`E-CGRA`, `UE-CGRA EOpt`, `UE-CGRA POpt`).
+    pub policy: Option<String>,
+    /// Mapping seed.
+    pub seed: Option<u64>,
+    /// Iterations completed (marker firings).
+    pub iterations: u64,
+    /// PLL ticks simulated.
+    pub ticks: u64,
+    /// Run length in nominal cycles.
+    pub nominal_cycles: f64,
+    /// Steady-state initiation interval in nominal cycles.
+    pub ii: Option<f64>,
+    /// Stop reason (`Quiesced`, `MarkerDone`, `TickLimit`).
+    pub stop: String,
+    /// Rising edges per clock domain over the whole run.
+    pub domain_edges: [u64; 3],
+    /// Rising edges per clock domain within the first hyperperiod
+    /// (the exact-rational basis the measured clock-power path uses).
+    pub domain_edges_hyper: [u64; 3],
+    /// Clock-gateable idle edges summed per domain.
+    pub domain_gated_ticks: [u64; 3],
+    /// Per-PE activity (configured PEs only).
+    pub pes: Vec<PeReport>,
+    /// Per-PE queue-occupancy histograms.
+    pub queues: Vec<QueueReport>,
+    /// Wall-clock phase timings (omitted by reproduction binaries to
+    /// keep their reports deterministic).
+    pub timings: Option<PhaseTimings>,
+    /// Free-form scalar metrics (figure binaries put their published
+    /// numbers here).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl RunReport {
+    /// Serialize to a [`Json`] value with the canonical field order.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("schema_version".into(), Json::Uint(SCHEMA_VERSION)),
+            ("name".into(), Json::Str(self.name.clone())),
+        ];
+        if let Some(kernel) = &self.kernel {
+            fields.push(("kernel".into(), Json::Str(kernel.clone())));
+        }
+        if let Some(policy) = &self.policy {
+            fields.push(("policy".into(), Json::Str(policy.clone())));
+        }
+        if let Some(seed) = self.seed {
+            fields.push(("seed".into(), Json::Uint(seed)));
+        }
+        fields.push(("iterations".into(), Json::Uint(self.iterations)));
+        fields.push(("ticks".into(), Json::Uint(self.ticks)));
+        fields.push(("nominal_cycles".into(), Json::Float(self.nominal_cycles)));
+        if let Some(ii) = self.ii {
+            fields.push(("ii".into(), Json::Float(ii)));
+        }
+        fields.push(("stop".into(), Json::Str(self.stop.clone())));
+        fields.push(("domain_edges".into(), domains_json(self.domain_edges)));
+        fields.push((
+            "domain_edges_hyper".into(),
+            domains_json(self.domain_edges_hyper),
+        ));
+        fields.push((
+            "domain_gated_ticks".into(),
+            domains_json(self.domain_gated_ticks),
+        ));
+        fields.push((
+            "pes".into(),
+            Json::Array(self.pes.iter().map(PeReport::to_json).collect()),
+        ));
+        fields.push((
+            "queues".into(),
+            Json::Array(self.queues.iter().map(QueueReport::to_json).collect()),
+        ));
+        if let Some(t) = &self.timings {
+            fields.push(("timings".into(), t.to_json()));
+        }
+        fields.push((
+            "metrics".into(),
+            Json::Object(
+                self.metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                    .collect(),
+            ),
+        ));
+        Json::Object(fields)
+    }
+
+    /// Deserialize one report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing fields, type mismatches,
+    /// or an unknown schema version.
+    pub fn from_json(v: &Json) -> Result<RunReport, SchemaError> {
+        let version = req_u64(v, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(SchemaError::new(format!(
+                "unsupported schema version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let pes = req(v, "pes")?
+            .as_array()
+            .ok_or_else(|| SchemaError::new("field `pes` must be an array"))?
+            .iter()
+            .map(PeReport::from_json)
+            .collect::<Result<Vec<PeReport>, SchemaError>>()?;
+        let queues = req(v, "queues")?
+            .as_array()
+            .ok_or_else(|| SchemaError::new("field `queues` must be an array"))?
+            .iter()
+            .map(QueueReport::from_json)
+            .collect::<Result<Vec<QueueReport>, SchemaError>>()?;
+        let timings = match v.get("timings") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(PhaseTimings::from_json(t)?),
+        };
+        let metrics = match v.get("metrics") {
+            None => Vec::new(),
+            Some(Json::Object(fields)) => fields
+                .iter()
+                .map(|(k, x)| {
+                    x.as_f64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| SchemaError::new(format!("metric `{k}` must be a number")))
+                })
+                .collect::<Result<Vec<(String, f64)>, SchemaError>>()?,
+            Some(_) => return Err(SchemaError::new("field `metrics` must be an object")),
+        };
+        Ok(RunReport {
+            name: req_str(v, "name")?,
+            kernel: opt_str(v, "kernel")?,
+            policy: opt_str(v, "policy")?,
+            seed: opt_u64(v, "seed")?,
+            iterations: req_u64(v, "iterations")?,
+            ticks: req_u64(v, "ticks")?,
+            nominal_cycles: req_f64(v, "nominal_cycles")?,
+            ii: opt_f64(v, "ii")?,
+            stop: req_str(v, "stop")?,
+            domain_edges: domains_from(v, "domain_edges")?,
+            domain_edges_hyper: domains_from(v, "domain_edges_hyper")?,
+            domain_gated_ticks: domains_from(v, "domain_gated_ticks")?,
+            pes,
+            queues,
+            timings,
+            metrics,
+        })
+    }
+
+    /// Serialize a batch of reports as the JSON document every
+    /// `--json` flag writes: an array, even for a single run.
+    pub fn render_all(reports: &[RunReport]) -> String {
+        Json::Array(reports.iter().map(RunReport::to_json).collect()).render()
+    }
+
+    /// Parse a `--json` document back into reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on malformed JSON or schema
+    /// mismatches.
+    pub fn parse_all(text: &str) -> Result<Vec<RunReport>, SchemaError> {
+        let doc = Json::parse(text)?;
+        doc.as_array()
+            .ok_or_else(|| SchemaError::new("a report document must be a JSON array"))?
+            .iter()
+            .map(RunReport::from_json)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            name: "dither/POpt".into(),
+            kernel: Some("dither".into()),
+            policy: Some("UE-CGRA POpt".into()),
+            seed: Some(7),
+            iterations: 60,
+            ticks: 1234,
+            nominal_cycles: 411.5,
+            ii: Some(3.25),
+            stop: "Quiesced".into(),
+            domain_edges: [137, 411, 617],
+            domain_edges_hyper: [2, 6, 9],
+            domain_gated_ticks: [10, 20, 30],
+            pes: vec![PeReport {
+                x: 1,
+                y: 2,
+                op: "add".into(),
+                mode: "sprint".into(),
+                rising_edges: 100,
+                fires: 60,
+                bypass_tokens: 3,
+                fire_edges: 61,
+                operand_stall_edges: 20,
+                suppressed_stall_edges: 9,
+                backpressure_stall_edges: 5,
+                gated_ticks: 5,
+                input_stalls: 31,
+                output_stalls: 6,
+                sram_accesses: 0,
+            }],
+            queues: vec![QueueReport {
+                x: 1,
+                y: 2,
+                occupancy: vec![300, 80, 20],
+            }],
+            timings: None,
+            metrics: vec![("speedup".into(), 1.44)],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_exactly() {
+        let report = sample_report();
+        let text = RunReport::render_all(std::slice::from_ref(&report));
+        let back = RunReport::parse_all(&text).unwrap();
+        assert_eq!(back, vec![report]);
+        assert_eq!(RunReport::render_all(&back), text);
+    }
+
+    #[test]
+    fn golden_serialization_shape() {
+        // A compact golden of the serializer's field order and layout;
+        // the full-run golden lives in `uecgra-core`'s snapshot test.
+        let mut report = sample_report();
+        report.pes.clear();
+        report.queues.clear();
+        report.metrics.clear();
+        let expected = "\
+{
+  \"schema_version\": 1,
+  \"name\": \"dither/POpt\",
+  \"kernel\": \"dither\",
+  \"policy\": \"UE-CGRA POpt\",
+  \"seed\": 7,
+  \"iterations\": 60,
+  \"ticks\": 1234,
+  \"nominal_cycles\": 411.5,
+  \"ii\": 3.25,
+  \"stop\": \"Quiesced\",
+  \"domain_edges\": {
+    \"rest\": 137,
+    \"nominal\": 411,
+    \"sprint\": 617
+  },
+  \"domain_edges_hyper\": {
+    \"rest\": 2,
+    \"nominal\": 6,
+    \"sprint\": 9
+  },
+  \"domain_gated_ticks\": {
+    \"rest\": 10,
+    \"nominal\": 20,
+    \"sprint\": 30
+  },
+  \"pes\": [],
+  \"queues\": [],
+  \"metrics\": {}
+}
+";
+        assert_eq!(report.to_json().render(), expected);
+    }
+
+    #[test]
+    fn conservation_helper_checks_partition() {
+        let pe = sample_report().pes.remove(0);
+        assert!(pe.conserves_edges());
+        let broken = PeReport {
+            gated_ticks: 4,
+            ..pe
+        };
+        assert!(!broken.conserves_edges());
+    }
+
+    #[test]
+    fn timings_round_trip_and_total() {
+        let t = PhaseTimings {
+            parse_ns: 1,
+            lower_ns: 2,
+            place_route_ns: 30,
+            power_map_ns: 4,
+            assemble_ns: 5,
+            simulate_ns: 600,
+        };
+        assert_eq!(t.total_ns(), 642);
+        let back = PhaseTimings::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut json = sample_report().to_json();
+        if let Json::Object(fields) = &mut json {
+            fields[0].1 = Json::Uint(99);
+        }
+        let err = RunReport::from_json(&json).unwrap_err();
+        assert!(err.message.contains("schema version"));
+    }
+
+    #[test]
+    fn missing_fields_are_reported_by_name() {
+        let err = RunReport::from_json(&Json::object(vec![(
+            "schema_version",
+            Json::Uint(SCHEMA_VERSION),
+        )]))
+        .unwrap_err();
+        assert!(err.message.contains('`'), "{err}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Observer hooks the pipeline reports progress through.
+//!
+//! `uecgra_core::pipeline` stays allocation-free when nobody is
+//! watching: a run carries an `Option<&mut dyn ProbeSink>`, and with
+//! `None` the only cost is a branch per phase. Attaching a
+//! [`TimingSink`] turns the callbacks into a [`PhaseTimings`] for the
+//! report.
+
+use crate::schema::PhaseTimings;
+
+/// A pipeline phase, in execution order.
+///
+/// Placement and routing are one phase ([`Phase::PlaceRoute`])
+/// because the mapper interleaves them in its rip-up-and-retry loop.
+/// [`Phase::Parse`] and [`Phase::Lower`] only occur when a kernel
+/// comes from source text (the CLI); library kernels start at
+/// placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Source-text parsing.
+    Parse,
+    /// AST → DFG lowering and optimization.
+    Lower,
+    /// Placement + routing.
+    PlaceRoute,
+    /// Rest/nominal/sprint power mapping.
+    PowerMap,
+    /// Bitstream assembly.
+    Assemble,
+    /// Cycle-level fabric execution.
+    Simulate,
+}
+
+impl Phase {
+    /// Stable lowercase label (used in progress output).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Lower => "lower",
+            Phase::PlaceRoute => "place-route",
+            Phase::PowerMap => "power-map",
+            Phase::Assemble => "assemble",
+            Phase::Simulate => "simulate",
+        }
+    }
+}
+
+/// Receiver for pipeline progress events.
+pub trait ProbeSink {
+    /// Called once per completed phase with its wall-clock duration.
+    fn phase_done(&mut self, phase: Phase, nanos: u64);
+}
+
+/// A [`ProbeSink`] that accumulates durations into [`PhaseTimings`].
+///
+/// Durations accumulate (rather than overwrite) so a sink can be
+/// reused across several runs to get totals.
+#[derive(Debug, Default)]
+pub struct TimingSink {
+    /// The collected timings so far.
+    pub timings: PhaseTimings,
+}
+
+impl TimingSink {
+    /// A fresh, zeroed sink.
+    pub fn new() -> TimingSink {
+        TimingSink::default()
+    }
+}
+
+impl ProbeSink for TimingSink {
+    fn phase_done(&mut self, phase: Phase, nanos: u64) {
+        let slot = match phase {
+            Phase::Parse => &mut self.timings.parse_ns,
+            Phase::Lower => &mut self.timings.lower_ns,
+            Phase::PlaceRoute => &mut self.timings.place_route_ns,
+            Phase::PowerMap => &mut self.timings.power_map_ns,
+            Phase::Assemble => &mut self.timings.assemble_ns,
+            Phase::Simulate => &mut self.timings.simulate_ns,
+        };
+        *slot += nanos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_sink_accumulates_per_phase() {
+        let mut sink = TimingSink::new();
+        sink.phase_done(Phase::PlaceRoute, 10);
+        sink.phase_done(Phase::Simulate, 5);
+        sink.phase_done(Phase::PlaceRoute, 7);
+        assert_eq!(sink.timings.place_route_ns, 17);
+        assert_eq!(sink.timings.simulate_ns, 5);
+        assert_eq!(sink.timings.total_ns(), 22);
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(Phase::PlaceRoute.label(), "place-route");
+        assert_eq!(Phase::Simulate.label(), "simulate");
+    }
+}

@@ -92,16 +92,59 @@ pub struct FireEvent {
 }
 
 /// Per-PE activity counters for performance and energy analysis.
+///
+/// Two families of counters coexist:
+///
+/// * **Event counts** (`input_stalls`, `output_stalls`) tally every
+///   stalled cause per rising edge — a PE whose compute starves while
+///   a bypass slot backpressures counts both. These feed the energy
+///   model's stall pricing.
+/// * **Edge classification** (`fire_edges`, `operand_stalls`,
+///   `suppressed_stalls`, `backpressure_stalls`, `gated_ticks`)
+///   assigns each local rising edge of a configured PE to exactly one
+///   disposition, by priority: fired (any compute or bypass plan) >
+///   backpressured (an output stalled) > suppressed (a token present
+///   but held by the bisynchronous suppressor or register aging) >
+///   operand-starved (waiting on data) > gateable idle. The five
+///   classes partition `rising_edges`, which is the conservation
+///   invariant the probe layer's property test checks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Activity {
     /// Op firings per PE (`[row][col]`).
     pub fires: Vec<Vec<u64>>,
     /// Bypass tokens forwarded per PE.
     pub bypass_tokens: Vec<Vec<u64>>,
-    /// Rising edges spent input-starved.
+    /// Stalled input causes per rising edge (event count).
     pub input_stalls: Vec<Vec<u64>>,
-    /// Rising edges spent backpressured.
+    /// Stalled output causes per rising edge (event count).
     pub output_stalls: Vec<Vec<u64>>,
+    /// Local rising edges observed per configured PE.
+    pub rising_edges: Vec<Vec<u64>>,
+    /// Edges on which the PE fired and/or forwarded at least once.
+    pub fire_edges: Vec<Vec<u64>>,
+    /// Edges starved of an operand (a required token absent).
+    pub operand_stalls: Vec<Vec<u64>>,
+    /// Edges where a token was present but the suppressor (or its
+    /// one-period register-aging analogue) held it back.
+    pub suppressed_stalls: Vec<Vec<u64>>,
+    /// Edges blocked only by downstream backpressure.
+    pub backpressure_stalls: Vec<Vec<u64>>,
+    /// Idle edges: nothing pending, nothing blocked — the local clock
+    /// could have been gated.
+    pub gated_ticks: Vec<Vec<u64>>,
+    /// Input-queue occupancy histograms: `queue_occupancy[y][x][d]`
+    /// counts, over the PE's rising edges, its four direction queues
+    /// holding exactly `d` tokens (histogram length = capacity + 1).
+    pub queue_occupancy: Vec<Vec<Vec<u64>>>,
+    /// Clock rising edges per domain (rest/nominal/sprint) over the
+    /// whole run.
+    pub domain_edges: [u64; 3],
+    /// Clock rising edges per domain within the first hyperperiod —
+    /// the exact rational basis `vlsi::clock_power_from_edges` uses in
+    /// place of hand-computed frequency ratios.
+    pub domain_edges_hyper: [u64; 3],
+    /// Gateable idle edges summed per clock domain.
+    pub domain_gated_ticks: [u64; 3],
     /// SRAM accesses per memory PE.
     pub sram_accesses: Vec<Vec<u64>>,
     /// Ticks at which the marker PE fired.
@@ -192,6 +235,29 @@ enum Plan {
         dst_mask: [bool; 4],
         value: u32,
     },
+}
+
+/// Per-edge stall bookkeeping for one PE's decision pass: the legacy
+/// per-cause event counts plus the flags the edge classifier needs.
+#[derive(Debug, Default)]
+struct EdgeTally {
+    /// Stalled input causes this edge (legacy event count).
+    input_stalls: u64,
+    /// Stalled output causes this edge (legacy event count).
+    output_stalls: u64,
+    /// Some required token was present but held by the suppressor /
+    /// register aging.
+    suppressed: bool,
+}
+
+/// Why an operand read failed this edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallCause {
+    /// The token has not arrived (or a const/reg is simply absent).
+    Starved,
+    /// A token is present but the suppressor (or the one-period
+    /// register-aging rule) blocks it this edge.
+    Suppressed,
 }
 
 /// The fabric simulator.
@@ -324,6 +390,17 @@ impl Fabric {
         let mut bypass_tokens = vec![vec![0u64; w]; h];
         let mut input_stalls = vec![vec![0u64; w]; h];
         let mut output_stalls = vec![vec![0u64; w]; h];
+        let mut rising_edges = vec![vec![0u64; w]; h];
+        let mut fire_edges = vec![vec![0u64; w]; h];
+        let mut operand_stalls = vec![vec![0u64; w]; h];
+        let mut suppressed_stalls = vec![vec![0u64; w]; h];
+        let mut backpressure_stalls = vec![vec![0u64; w]; h];
+        let mut gated_ticks = vec![vec![0u64; w]; h];
+        let occupancy_buckets = self.config.queue_capacity + 1;
+        let mut queue_occupancy = vec![vec![vec![0u64; occupancy_buckets]; w]; h];
+        let mut domain_edges = [0u64; 3];
+        let mut domain_edges_hyper = [0u64; 3];
+        let mut domain_gated_ticks = [0u64; 3];
         let mut marker_times = Vec::new();
         let mut events: Vec<FireEvent> = Vec::new();
         let hyper = self.config.clocks.hyperperiod();
@@ -333,7 +410,19 @@ impl Fabric {
 
         let mut t = 0u64;
         while t < self.config.max_ticks {
-            // Phase 1: decide per rising PE.
+            // Clock-domain edge counters (properties of the clock
+            // plan, measured rather than hand-computed so the power
+            // model consumes simulation output directly).
+            for mode in VfMode::ALL {
+                if self.config.clocks.is_rising(mode, t) {
+                    domain_edges[mode as usize] += 1;
+                    if t < hyper {
+                        domain_edges_hyper[mode as usize] += 1;
+                    }
+                }
+            }
+
+            // Phase 1: decide per rising PE, classifying each edge.
             let mut plans: Vec<Plan> = Vec::new();
             for y in 0..h {
                 for x in 0..w {
@@ -343,7 +432,27 @@ impl Fabric {
                     {
                         continue;
                     }
-                    self.decide((x, y), t, &mut plans, &mut input_stalls, &mut output_stalls);
+                    rising_edges[y][x] += 1;
+                    for q in &self.grid[y][x].queues {
+                        queue_occupancy[y][x][q.len().min(occupancy_buckets - 1)] += 1;
+                    }
+                    let planned_before = plans.len();
+                    let mut tally = EdgeTally::default();
+                    self.decide((x, y), t, &mut plans, &mut tally);
+                    input_stalls[y][x] += tally.input_stalls;
+                    output_stalls[y][x] += tally.output_stalls;
+                    if plans.len() > planned_before {
+                        fire_edges[y][x] += 1;
+                    } else if tally.output_stalls > 0 {
+                        backpressure_stalls[y][x] += 1;
+                    } else if tally.suppressed {
+                        suppressed_stalls[y][x] += 1;
+                    } else if tally.input_stalls > 0 {
+                        operand_stalls[y][x] += 1;
+                    } else {
+                        gated_ticks[y][x] += 1;
+                        domain_gated_ticks[clk as usize] += 1;
+                    }
                 }
             }
 
@@ -492,6 +601,16 @@ impl Fabric {
             bypass_tokens,
             input_stalls,
             output_stalls,
+            rising_edges,
+            fire_edges,
+            operand_stalls,
+            suppressed_stalls,
+            backpressure_stalls,
+            gated_ticks,
+            queue_occupancy,
+            domain_edges,
+            domain_edges_hyper,
+            domain_gated_ticks,
             sram_accesses,
             marker_times,
             ticks: t,
@@ -502,16 +621,7 @@ impl Fabric {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    #[allow(clippy::needless_range_loop)] // (x, y) grid indexing reads clearer
-    fn decide(
-        &self,
-        pe: Coord,
-        t: u64,
-        plans: &mut Vec<Plan>,
-        input_stalls: &mut [Vec<u64>],
-        output_stalls: &mut [Vec<u64>],
-    ) {
+    fn decide(&self, pe: Coord, t: u64, plans: &mut Vec<Plan>, tally: &mut EdgeTally) {
         let (x, y) = pe;
         let state = &self.grid[y][x];
         let cfg = state.config;
@@ -532,15 +642,19 @@ impl Fabric {
                             value,
                         });
                     } else {
-                        output_stalls[y][x] += 1;
+                        tally.output_stalls += 1;
                     }
                 }
                 None => {
                     if !state.queues[slot.src as usize].is_empty() {
                         // Token present but not yet aged (a suppressed
                         // unsafe-edge handshake) or already taken by
-                        // this user.
-                        input_stalls[y][x] += 1;
+                        // this user (waiting on the eager fork's other
+                        // consumers).
+                        tally.input_stalls += 1;
+                        if state.queues[slot.src as usize].front_pending_for(i + 1) {
+                            tally.suppressed = true;
+                        }
                     }
                 }
             }
@@ -564,26 +678,30 @@ impl Fabric {
                     init_value: cfg.init.expect("init_pending implies init"),
                 });
             } else {
-                output_stalls[y][x] += 1;
+                tally.output_stalls += 1;
             }
             return;
         }
 
         // Operand gathering.
-        let read = |sel: OperandSel| -> Result<(Option<Dir>, bool, u32), bool> {
-            // Ok((queue, consume_reg, value)); Err(stall_is_input).
+        let read = |sel: OperandSel| -> Result<(Option<Dir>, bool, u32), StallCause> {
+            // Ok((queue, consume_reg, value)).
             match sel {
                 OperandSel::Queue(d) => match self.queue_visible(pe, d, 0, t) {
                     Some(v) => Ok((Some(d), false, v)),
-                    None => Err(true),
+                    None if state.queues[d as usize].front_pending_for(0) => {
+                        Err(StallCause::Suppressed)
+                    }
+                    None => Err(StallCause::Starved),
                 },
                 OperandSel::Reg => match state.reg {
                     Some(tok) if t >= tok.written + period => Ok((None, true, tok.value)),
-                    _ => Err(true),
+                    Some(_) => Err(StallCause::Suppressed),
+                    None => Err(StallCause::Starved),
                 },
                 OperandSel::Const => match cfg.constant {
                     Some(c) => Ok((None, false, c)),
-                    None => Err(true),
+                    None => Err(StallCause::Starved),
                 },
                 OperandSel::None => Ok((None, false, 0)),
             }
@@ -596,27 +714,32 @@ impl Fabric {
         if op == Op::Phi {
             // Merge: first visible operand wins.
             let mut found = false;
+            let mut any_suppressed = false;
             for port in 0..2 {
-                if let Ok((q, r, v)) = read(cfg.operands[port]) {
-                    if q.is_none() && !r && cfg.operands[port] != OperandSel::Const {
-                        continue; // OperandSel::None
+                match read(cfg.operands[port]) {
+                    Ok((q, r, v)) => {
+                        if q.is_none() && !r && cfg.operands[port] != OperandSel::Const {
+                            continue; // OperandSel::None
+                        }
+                        if let Some(d) = q {
+                            pops.push(d);
+                        }
+                        consume_reg = r;
+                        operands[0] = v;
+                        found = true;
+                        break;
                     }
-                    if let Some(d) = q {
-                        pops.push(d);
-                    }
-                    consume_reg = r;
-                    operands[0] = v;
-                    found = true;
-                    break;
+                    Err(cause) => any_suppressed |= cause == StallCause::Suppressed,
                 }
             }
             if !found {
-                input_stalls[y][x] += 1;
+                tally.input_stalls += 1;
+                tally.suppressed |= any_suppressed;
                 return;
             }
         } else {
             let arity = op.arity().max(1);
-            for port in 0..arity.min(2) {
+            for (port, slot) in operands.iter_mut().enumerate().take(arity.min(2)) {
                 match read(cfg.operands[port]) {
                     Ok((q, r, v)) => {
                         if let Some(d) = q {
@@ -628,10 +751,11 @@ impl Fabric {
                             }
                         }
                         consume_reg |= r;
-                        operands[port] = v;
+                        *slot = v;
                     }
-                    Err(_) => {
-                        input_stalls[y][x] += 1;
+                    Err(cause) => {
+                        tally.input_stalls += 1;
+                        tally.suppressed |= cause == StallCause::Suppressed;
                         return;
                     }
                 }
@@ -654,13 +778,13 @@ impl Fabric {
             cfg.alu_false_mask
         };
         if !self.mask_ready(pe, &mask) {
-            output_stalls[y][x] += 1;
+            tally.output_stalls += 1;
             return;
         }
         // Register write needs the slot free (capacity-one buffer),
         // unless this very firing consumes it.
         if cfg.reg_write && out_port == 0 && state.reg.is_some() && !consume_reg {
-            output_stalls[y][x] += 1;
+            tally.output_stalls += 1;
             return;
         }
 
@@ -768,14 +892,45 @@ mod tests {
         });
         // At t=3 the phi can fire by consuming the reg (consume+write).
         let mut plans = Vec::new();
-        let mut in_stalls = vec![vec![0u64; 3]; 1];
-        let mut out_stalls = vec![vec![0u64; 3]; 1];
-        f.decide((0, 0), 3, &mut plans, &mut in_stalls, &mut out_stalls);
+        let mut tally = EdgeTally::default();
+        f.decide((0, 0), 3, &mut plans, &mut tally);
         assert_eq!(plans.len(), 1, "reg consume-and-write is legal");
         match &plans[0] {
             Plan::Compute { consume_reg, .. } => assert!(consume_reg),
             other => panic!("unexpected plan {other:?}"),
         }
+    }
+
+    #[test]
+    fn edge_classification_partitions_rising_edges() {
+        let bs = tiny_bitstream();
+        let config = FabricConfig {
+            marker: Some((0, 0)),
+            max_marker_fires: Some(10),
+            ..FabricConfig::default()
+        };
+        let act = Fabric::new(&bs, vec![], config).run();
+        for x in 0..3 {
+            assert_eq!(
+                act.fire_edges[0][x]
+                    + act.operand_stalls[0][x]
+                    + act.suppressed_stalls[0][x]
+                    + act.backpressure_stalls[0][x]
+                    + act.gated_ticks[0][x],
+                act.rising_edges[0][x],
+                "edge classes must partition rising edges at (0, {x})"
+            );
+            // Four queues sampled once per rising edge.
+            let samples: u64 = act.queue_occupancy[0][x].iter().sum();
+            assert_eq!(samples, 4 * act.rising_edges[0][x]);
+        }
+        assert!(act.fire_edges[0][0] > 0);
+        // Default 9:3:2 divisors over the 18-tick hyperperiod.
+        assert_eq!(act.domain_edges_hyper, [2, 6, 9]);
+        assert_eq!(
+            act.domain_gated_ticks.iter().sum::<u64>(),
+            act.gated_ticks.iter().flatten().sum::<u64>()
+        );
     }
 
     #[test]

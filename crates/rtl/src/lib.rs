@@ -50,4 +50,4 @@ pub mod trace;
 pub use fabric::{Activity, Fabric, FabricConfig, FabricStop, SuppressorKind};
 pub use inelastic::InelasticSchedule;
 pub use scratchpad::Scratchpad;
-pub use trace::to_vcd;
+pub use trace::{to_vcd, TraceError};

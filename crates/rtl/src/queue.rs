@@ -106,6 +106,14 @@ impl BisyncQueue {
         self.front_visible(t, receiver_period)
     }
 
+    /// True when a front token exists that `user` has not yet taken —
+    /// i.e. the consumer is waiting on *visibility* (suppressor aging
+    /// or an unsafe edge), not on data arrival. Used by the stall
+    /// classifier to tell suppressed edges from operand starvation.
+    pub fn front_pending_for(&self, user: usize) -> bool {
+        !self.slots.is_empty() && !self.front_taken[user]
+    }
+
     /// Record that `user` consumed the front token, then pop it once
     /// every user in `required` has taken it.
     ///

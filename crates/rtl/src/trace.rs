@@ -11,6 +11,28 @@ use std::fmt::Write as _;
 use uecgra_compiler::bitstream::{Bitstream, PeRole};
 use uecgra_compiler::mapping::Coord;
 
+/// Why a waveform could not be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The run had activity but was executed without
+    /// `FabricConfig::record_events`, so there are no events to dump
+    /// (an empty wave would silently look like a dead fabric).
+    EventsNotRecorded,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::EventsNotRecorded => write!(
+                f,
+                "run the fabric with `record_events: true` to dump waveforms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// VCD identifier for signal `n` (printable ASCII, excluding space).
 fn vcd_id(n: usize) -> String {
     let mut n = n;
@@ -28,16 +50,16 @@ fn vcd_id(n: usize) -> String {
 /// Render a run as VCD text. PEs are named `pe_<x>_<y>_<op>`; only
 /// non-gated PEs get signals. The timescale is one PLL tick.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the run was made without `record_events` but has nonzero
-/// activity (nothing to dump would silently produce an empty wave).
-pub fn to_vcd(activity: &Activity, bitstream: &Bitstream) -> String {
+/// Returns [`TraceError::EventsNotRecorded`] if the run had activity
+/// but was executed without `record_events` (nothing to dump would
+/// silently produce an empty wave).
+pub fn to_vcd(activity: &Activity, bitstream: &Bitstream) -> Result<String, TraceError> {
     let total_fires: u64 = activity.fires.iter().flatten().sum();
-    assert!(
-        total_fires == 0 || !activity.events.is_empty(),
-        "run the fabric with `record_events: true` to dump waveforms"
-    );
+    if total_fires > 0 && activity.events.is_empty() {
+        return Err(TraceError::EventsNotRecorded);
+    }
 
     // Collect signals.
     struct Signal {
@@ -111,7 +133,7 @@ pub fn to_vcd(activity: &Activity, bitstream: &Bitstream) -> String {
         }
         let _ = writeln!(out, "{line}");
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -139,7 +161,7 @@ mod tests {
     #[test]
     fn vcd_has_header_and_signals() {
         let (bs, act) = traced_run();
-        let vcd = to_vcd(&act, &bs);
+        let vcd = to_vcd(&act, &bs).unwrap();
         assert!(vcd.starts_with("$date"));
         assert!(vcd.contains("$enddefinitions $end"));
         assert!(vcd.contains("_fire $end"));
@@ -152,7 +174,7 @@ mod tests {
         let fires: u64 = act.fires.iter().flatten().sum();
         let bypasses: u64 = act.bypass_tokens.iter().flatten().sum();
         assert_eq!(act.events.len() as u64, fires + bypasses);
-        let vcd = to_vcd(&act, &bs);
+        let vcd = to_vcd(&act, &bs).unwrap();
         // Each event contributes a rise and a fall.
         let rises = vcd.lines().filter(|l| l.starts_with('1')).count() as u64;
         assert_eq!(rises, fires + bypasses);
@@ -161,7 +183,7 @@ mod tests {
     #[test]
     fn timestamps_are_monotone() {
         let (bs, act) = traced_run();
-        let vcd = to_vcd(&act, &bs);
+        let vcd = to_vcd(&act, &bs).unwrap();
         let mut last = 0i64;
         for line in vcd.lines() {
             if let Some(t) = line.strip_prefix('#') {
@@ -186,7 +208,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "record_events")]
     fn untraced_run_is_rejected() {
         let k = kernels::llist::build_with_hops(10);
         let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), 3).unwrap();
@@ -197,6 +218,10 @@ mod tests {
             ..FabricConfig::default()
         };
         let act = Fabric::new(&bs, k.mem.clone(), config).run();
-        to_vcd(&act, &bs);
+        assert_eq!(to_vcd(&act, &bs), Err(TraceError::EventsNotRecorded));
+        assert!(to_vcd(&act, &bs)
+            .unwrap_err()
+            .to_string()
+            .contains("record_events"));
     }
 }

@@ -130,12 +130,50 @@ fn local_clock_scale(mode: VfMode) -> f64 {
 
 /// Compute the clock-power breakdown for a per-PE clock-selection grid
 /// (`None` = unused PE).
-#[allow(clippy::needless_range_loop)] // (x, y) grid indexing reads clearer
 pub fn clock_power(
     kind: CgraKind,
     params: &ClockPowerParams,
     clock_grid: &[Vec<Option<VfMode>>],
     gating: GatingConfig,
+) -> ClockPowerBreakdown {
+    clock_power_with_scale(kind, params, clock_grid, gating, local_clock_scale)
+}
+
+/// [`clock_power`], but with each domain's local-clock scale taken
+/// from **measured** per-domain rising-edge counts over one
+/// hyperperiod (the probe layer's `domain_edges_hyper`) instead of
+/// the hand-computed frequency ratios.
+///
+/// The scale of mode `m` is `edges[m] / edges[nominal]`. For the
+/// default 9:3:2 divisor plan the counts are `[2, 6, 9]`, and the
+/// correctly-rounded f64 divisions 2/6, 6/6 and 9/6 are bit-identical
+/// to the hand constants 1/3, 1 and 1.5 — so this path reproduces
+/// [`clock_power`] exactly while being driven by simulator telemetry.
+/// A run too short to cover a hyperperiod (`edges[nominal] == 0`)
+/// falls back to the hand ratios.
+pub fn clock_power_from_edges(
+    kind: CgraKind,
+    params: &ClockPowerParams,
+    clock_grid: &[Vec<Option<VfMode>>],
+    gating: GatingConfig,
+    edges_hyper: [u64; 3],
+) -> ClockPowerBreakdown {
+    let nominal = edges_hyper[VfMode::Nominal as usize];
+    if nominal == 0 {
+        return clock_power(kind, params, clock_grid, gating);
+    }
+    clock_power_with_scale(kind, params, clock_grid, gating, move |m| {
+        edges_hyper[m as usize] as f64 / nominal as f64
+    })
+}
+
+#[allow(clippy::needless_range_loop)] // (x, y) grid indexing reads clearer
+fn clock_power_with_scale(
+    kind: CgraKind,
+    params: &ClockPowerParams,
+    clock_grid: &[Vec<Option<VfMode>>],
+    gating: GatingConfig,
+    scale: impl Fn(VfMode) -> f64,
 ) -> ClockPowerBreakdown {
     let height = clock_grid.len();
     let width = clock_grid.first().map_or(0, |r| r.len());
@@ -153,7 +191,7 @@ pub fn clock_power(
         for &sel in row {
             match sel {
                 Some(m) => {
-                    pe_clock_mw += params.pe_clock_mw_nominal * local_clock_scale(m) * pe_factor;
+                    pe_clock_mw += params.pe_clock_mw_nominal * scale(m) * pe_factor;
                     leakage_mw += params.active_leak_mw * volt_ratio(m);
                 }
                 None if !gating.power_gate => {
@@ -310,6 +348,43 @@ mod tests {
             let c = clock_power(kind, &p, &g, GatingConfig::FULL).total_clock_mw();
             assert!(a > b && b > c, "{kind:?}: {a} > {b} > {c} violated");
         }
+    }
+
+    #[test]
+    fn measured_edges_match_hand_ratios_exactly() {
+        // One hyperperiod of the default 9:3:2 plan has 2/6/9 rising
+        // edges; the resulting scale factors are bit-identical to the
+        // hand constants, so both paths agree to the last bit in every
+        // gating configuration.
+        let p = ClockPowerParams::default();
+        let mut g = sparse_grid();
+        g[0][0] = Some(VfMode::Rest);
+        for kind in [CgraKind::Elastic, CgraKind::UltraElastic] {
+            for gating in [
+                GatingConfig::NONE,
+                GatingConfig::POWER_ONLY,
+                GatingConfig::FULL,
+            ] {
+                let hand = clock_power(kind, &p, &g, gating);
+                let measured = clock_power_from_edges(kind, &p, &g, gating, [2, 6, 9]);
+                assert_eq!(measured, hand, "{kind:?}/{gating:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_runs_fall_back_to_hand_ratios() {
+        let p = ClockPowerParams::default();
+        let g = sparse_grid();
+        let hand = clock_power(CgraKind::UltraElastic, &p, &g, GatingConfig::FULL);
+        let fallback = clock_power_from_edges(
+            CgraKind::UltraElastic,
+            &p,
+            &g,
+            GatingConfig::FULL,
+            [0, 0, 0],
+        );
+        assert_eq!(fallback, hand);
     }
 
     #[test]
