@@ -6,7 +6,7 @@
 //! sprints. The elasticity-aware suppressor lets aged tokens cross on
 //! unsafe edges, keeping mixed-clock mappings at full throughput.
 
-use uecgra_bench::{header, json_path, write_reports};
+use uecgra_bench::{engine_arg, header, json_path, write_reports};
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::Bitstream;
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
@@ -37,7 +37,9 @@ fn main() {
                 max_ticks: 300_000,
                 ..FabricConfig::default()
             };
-            Fabric::new(&bs, k.mem.clone(), config).run().iterations()
+            Fabric::new(&bs, k.mem.clone(), config)
+                .run_with(engine_arg())
+                .iterations()
         };
         let sprints = pm
             .node_modes

@@ -101,6 +101,6 @@ fn run(dfg: &uecgra_dfg::Dfg, marker: uecgra_dfg::NodeId, mem: Vec<u32>) -> (f64
         marker: Some(mapped.coord_of(marker)),
         ..FabricConfig::default()
     };
-    let act = Fabric::new(&bs, mem, config).run();
+    let act = Fabric::new(&bs, mem, config).run_with(uecgra_bench::engine_arg());
     (act.steady_ii(8).expect("steady"), mapped.utilization())
 }

@@ -73,7 +73,7 @@ fn main() {
                 queue_capacity: d,
                 ..FabricConfig::default()
             };
-            let act = Fabric::new(&bs, vec![], config).run();
+            let act = Fabric::new(&bs, vec![], config).run_with(uecgra_bench::engine_arg());
             let ii = act.steady_ii(20).expect("steady state");
             metrics.push((format!("rtl_cycle-{n}_depth{d}_throughput"), 1.0 / ii));
             print!(" {:>8.3}", 1.0 / ii);

@@ -142,6 +142,27 @@ impl ClockSet {
         (t / p) * p
     }
 
+    /// Number of rising edges of `mode` in the inclusive PLL-tick
+    /// range `[0, through]`.
+    ///
+    /// Every divided clock has an edge at `t = 0` (the two-phase clock
+    /// reset aligns all dividers), so the count is never zero. This is
+    /// the closed form the event-driven fabric engine uses to account
+    /// for clock-domain edges over a counted range without sweeping
+    /// every tick.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uecgra_clock::{ClockSet, VfMode};
+    /// let clocks = ClockSet::default();
+    /// // Nominal (period 3) edges at 0, 3, 6 within [0, 7].
+    /// assert_eq!(clocks.rising_edges_through(VfMode::Nominal, 7), 3);
+    /// ```
+    pub fn rising_edges_through(&self, mode: VfMode, through: u64) -> u64 {
+        through / self.period(mode) + 1
+    }
+
     /// Rising edges of `mode` within one hyperperiod.
     pub fn rising_edges(&self, mode: VfMode) -> Vec<u64> {
         (0..self.hyperperiod())
@@ -230,6 +251,23 @@ mod tests {
         assert_eq!(c.next_rising(VfMode::Nominal, 3), 6);
         assert_eq!(c.last_rising(VfMode::Nominal, 5), 3);
         assert_eq!(c.last_rising(VfMode::Nominal, 6), 6);
+    }
+
+    #[test]
+    fn edge_counts_match_enumeration() {
+        for divs in [[9, 3, 2], [8, 4, 2], [6, 3, 3], [12, 4, 3], [1, 1, 1]] {
+            let c = ClockSet::new(divs).unwrap();
+            for m in VfMode::ALL {
+                for through in 0..60u64 {
+                    let brute = (0..=through).filter(|&t| c.is_rising(m, t)).count() as u64;
+                    assert_eq!(
+                        c.rising_edges_through(m, through),
+                        brute,
+                        "{m} through {through} for {divs:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -112,6 +112,64 @@ fn suppressor_never_allows_under_aged_unsafe_tokens() {
 }
 
 #[test]
+fn suppressor_decisions_are_monotonic_across_capture_edges() {
+    // Once a token is allowed at some capture edge it stays allowed at
+    // every later one: successive receiver edges are one period apart,
+    // so a token that crossed (fresh on a safe edge or aged anywhere)
+    // is aged at least a full period by the next edge. Without this, a
+    // consumer that stalled for unrelated reasons could lose a token
+    // it had already been granted.
+    forall(96, |rng| {
+        let clocks = arb_clockset(rng);
+        for src in VfMode::ALL {
+            for dst in VfMode::ALL {
+                let sup = Suppressor::new(&clocks, src, dst);
+                let p = clocks.period(dst);
+                let written = clocks.last_rising(src, rng.range_u64(0, 2 * clocks.hyperperiod()));
+                let first = clocks.next_rising(dst, written);
+                let mut granted = false;
+                for k in 0..8 {
+                    let capture = first + k * p;
+                    let allow = sup.allows(capture, written);
+                    assert!(
+                        allow || !granted,
+                        "{src}->{dst}: token written {written} allowed then revoked at {capture}"
+                    );
+                    granted |= allow;
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn suppressor_grants_every_token_within_two_receiver_periods() {
+    // Liveness (no token loss through suppression): whatever the
+    // crossing, a written token is allowed no later than the first
+    // capture edge at which it has aged one receiver period — at most
+    // two receiver periods after the write. The traditional
+    // all-unsafe-edge suppressor relies on exactly this bound.
+    forall(96, |rng| {
+        let clocks = arb_clockset(rng);
+        for src in VfMode::ALL {
+            for dst in VfMode::ALL {
+                let sup = Suppressor::new(&clocks, src, dst);
+                let p = clocks.period(dst);
+                let written = clocks.last_rising(src, rng.range_u64(0, 2 * clocks.hyperperiod()));
+                let mut capture = clocks.next_rising(dst, written);
+                while !sup.allows(capture, written) {
+                    capture += p;
+                    assert!(
+                        capture - written <= 2 * p,
+                        "{src}->{dst}: token written {written} still suppressed at {capture}"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
 fn switcher_never_glitches_under_random_sequences() {
     forall(96, |rng| {
         let n_sel = 1 + rng.range(5);

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! uecgra run <source.loop> [--policy e|eopt|popt] [--seed N]
-//!            [--mem-words N] [--vcd <out.vcd>] [--dump-mem A..B]
-//!            [--json <report.json>]
+//!            [--engine dense|event] [--mem-words N] [--vcd <out.vcd>]
+//!            [--dump-mem A..B] [--json <report.json>]
 //! uecgra compile <source.loop> [--seed N]      # print the mapping
 //! uecgra check-report <report.json>            # round-trip validate
 //! ```
@@ -32,6 +32,7 @@ use uecgra_core::pipeline::{CgraRun, Policy};
 use uecgra_core::report::run_report;
 use uecgra_probe::{Phase, ProbeSink as _, RunReport, SchemaError, TimingSink};
 use uecgra_rtl::fabric::{Fabric, FabricConfig};
+use uecgra_rtl::Engine;
 
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::{Bitstream, PeRole};
@@ -45,6 +46,7 @@ struct Args {
     command: String,
     source: String,
     policy: String,
+    engine: Engine,
     seed: u64,
     mem_words: usize,
     vcd: Option<String>,
@@ -74,7 +76,8 @@ impl From<Error> for CliError {
 
 fn usage() -> String {
     "usage: uecgra <run|compile|check-report> <file> [--policy e|eopt|popt] \
-     [--seed N] [--mem-words N] [--vcd out.vcd] [--dump-mem A..B] [--json report.json]"
+     [--engine dense|event] [--seed N] [--mem-words N] [--vcd out.vcd] \
+     [--dump-mem A..B] [--json report.json]"
         .to_string()
 }
 
@@ -86,6 +89,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         command,
         source,
         policy: "popt".into(),
+        engine: Engine::default(),
         seed: 7,
         mem_words: 8192,
         vcd: None,
@@ -96,6 +100,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
             "--policy" => args.policy = value()?,
+            "--engine" => {
+                let v = value()?;
+                args.engine = Engine::parse(&v)
+                    .ok_or_else(|| format!("--engine: unknown engine {v} (use dense|event)"))?;
+            }
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--mem-words" => {
                 args.mem_words = value()?.parse().map_err(|e| format!("--mem-words: {e}"))?
@@ -281,7 +290,7 @@ fn real_main() -> Result<(), CliError> {
         ..FabricConfig::default()
     };
     let activity = timed(&mut sink, Phase::Simulate, || {
-        Fabric::new(&bitstream, mem, config).run()
+        Fabric::new(&bitstream, mem, config).run_with(args.engine)
     });
     println!(
         "ran {} iterations in {:.0} nominal cycles (II {:.2}), stop: {:?}",
@@ -315,6 +324,7 @@ fn real_main() -> Result<(), CliError> {
             .trim_end_matches(".loop");
         let mut report = run_report(format!("{source_name}/{}", policy.label()), None, &run);
         report.seed = Some(args.seed);
+        report.engine = Some(args.engine.label().to_string());
         report.timings = Some(sink.timings);
         write_file(path, &RunReport::render_all(std::slice::from_ref(&report)))?;
         eprintln!("wrote report to {path}");

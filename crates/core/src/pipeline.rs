@@ -25,7 +25,7 @@
 //! timings); [`run_kernel`] survives as a thin positional wrapper.
 
 use crate::error::Error;
-use uecgra_clock::VfMode;
+use uecgra_clock::{ClockSet, VfMode};
 use uecgra_compiler::bitstream::Bitstream;
 use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::power_map::{power_map_routed, Objective};
@@ -33,6 +33,7 @@ use uecgra_dfg::Kernel;
 use uecgra_probe::{Phase, ProbeSink};
 use uecgra_rtl::fabric::{Fabric, FabricConfig, FabricStop};
 use uecgra_rtl::Activity;
+pub use uecgra_rtl::Engine;
 
 /// Which machine/policy a kernel is compiled for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,6 +133,8 @@ pub struct RunRequest<'a> {
     iterations: Option<u64>,
     queue_depth: usize,
     record_events: bool,
+    engine: Engine,
+    divisors: Option<[u32; 3]>,
     sink: Option<&'a mut dyn ProbeSink>,
 }
 
@@ -145,6 +148,8 @@ impl<'a> RunRequest<'a> {
             iterations: None,
             queue_depth: 2,
             record_events: false,
+            engine: Engine::default(),
+            divisors: None,
             sink: None,
         }
     }
@@ -180,6 +185,20 @@ impl<'a> RunRequest<'a> {
         self
     }
 
+    /// Select the simulation engine (default: [`Engine::EventDriven`],
+    /// bit-identical to the dense reference stepper by contract).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Override the rational clock divisors `[rest, nominal, sprint]`
+    /// (default: the paper's 9:3:2). Validated in [`RunRequest::run`].
+    pub fn divisors(mut self, divisors: [u32; 3]) -> Self {
+        self.divisors = Some(divisors);
+        self
+    }
+
     /// Attach a [`ProbeSink`] to receive wall-clock phase timings.
     pub fn probe(mut self, sink: &'a mut dyn ProbeSink) -> Self {
         self.sink = Some(sink);
@@ -191,8 +210,8 @@ impl<'a> RunRequest<'a> {
     /// # Errors
     ///
     /// Returns the pipeline [`Error`] of the first failing stage:
-    /// mapping, bitstream assembly, or a fabric run that hits its tick
-    /// limit.
+    /// an invalid clock-divisor request, mapping, bitstream assembly,
+    /// or a fabric run that hits its tick limit.
     pub fn run(self) -> Result<CgraRun, Error> {
         let RunRequest {
             kernel,
@@ -201,9 +220,15 @@ impl<'a> RunRequest<'a> {
             iterations,
             queue_depth,
             record_events,
+            engine,
+            divisors,
             mut sink,
         } = self;
 
+        let clocks = match divisors {
+            Some(d) => ClockSet::new(d)?,
+            None => ClockSet::default(),
+        };
         let mapped = timed(&mut sink, Phase::PlaceRoute, || {
             MappedKernel::map(&kernel.dfg, ArrayShape::default(), seed)
         })?;
@@ -244,6 +269,7 @@ impl<'a> RunRequest<'a> {
             Bitstream::assemble(&kernel.dfg, &mapped, &modes)
         })?;
         let config = FabricConfig {
+            clocks,
             marker: Some(mapped.coord_of(kernel.iter_marker)),
             max_marker_fires: iterations,
             queue_capacity: queue_depth,
@@ -251,7 +277,7 @@ impl<'a> RunRequest<'a> {
             ..FabricConfig::default()
         };
         let activity = timed(&mut sink, Phase::Simulate, || {
-            Fabric::new(&bitstream, kernel.mem.clone(), config).run()
+            Fabric::new(&bitstream, kernel.mem.clone(), config).run_with(engine)
         });
         if activity.stop == FabricStop::TickLimit {
             return Err(Error::DidNotTerminate);
@@ -300,9 +326,27 @@ pub fn run_kernels_parallel(
     kernels: &[Kernel],
     seed: u64,
 ) -> Vec<Vec<Result<CgraRun, PipelineError>>> {
+    run_kernels_parallel_with(kernels, seed, Engine::default())
+}
+
+/// [`run_kernels_parallel`] with an explicit simulation engine.
+///
+/// # Errors
+///
+/// Each slot carries its own [`PipelineError`]; one failing pair does
+/// not abort the rest.
+pub fn run_kernels_parallel_with(
+    kernels: &[Kernel],
+    seed: u64,
+    engine: Engine,
+) -> Vec<Vec<Result<CgraRun, PipelineError>>> {
     let n_pol = Policy::ALL.len();
     let mut flat = uecgra_util::par_tabulate(kernels.len() * n_pol, |i| {
-        run_kernel(&kernels[i / n_pol], Policy::ALL[i % n_pol], seed)
+        RunRequest::new(&kernels[i / n_pol])
+            .policy(Policy::ALL[i % n_pol])
+            .seed(seed)
+            .engine(engine)
+            .run()
     })
     .into_iter();
     kernels

@@ -1,0 +1,120 @@
+//! End-to-end error-path coverage for the pipeline: each failure mode
+//! a caller can trigger through [`RunRequest`] must surface the right
+//! [`Error`] variant (with its stage error chained as the source),
+//! not a panic and not a mislabelled stage.
+
+use uecgra_clock::RatioError;
+use uecgra_compiler::mapping::MapError;
+use uecgra_core::error::{error_chain, Error};
+use uecgra_core::pipeline::RunRequest;
+use uecgra_dfg::kernels::synthetic;
+use uecgra_dfg::{Dfg, Kernel, Op};
+
+/// Identity host reference for kernels that exist only to fail before
+/// execution.
+fn no_op_reference(mem: &[u32], _iters: usize) -> Vec<u32> {
+    mem.to_vec()
+}
+
+/// Wrap a synthetic DFG in a [`Kernel`] so it can enter the pipeline.
+fn kernel_of(name: &'static str, dfg: Dfg, marker: uecgra_dfg::NodeId) -> Kernel {
+    Kernel {
+        name,
+        dfg,
+        mem: Vec::new(),
+        iters: 1,
+        iter_marker: marker,
+        ideal_recurrence: 1,
+        reference: no_op_reference,
+    }
+}
+
+#[test]
+fn unordered_divisors_fail_with_clock_error() {
+    let s = synthetic::chain(4);
+    let k = kernel_of("chain4", s.dfg, s.iter_marker);
+    // [rest, nominal, sprint] must be ordered slowest-first; an
+    // ascending triple is rejected before any compilation happens.
+    let err = RunRequest::new(&k)
+        .divisors([2, 3, 9])
+        .run()
+        .expect_err("ascending divisors must not run");
+    assert!(
+        matches!(err, Error::Clock(RatioError::Unordered([2, 3, 9]))),
+        "wrong variant: {err:?}"
+    );
+    assert!(
+        error_chain(&err).starts_with("error: invalid clock configuration"),
+        "chain mislabels the stage: {}",
+        error_chain(&err)
+    );
+}
+
+#[test]
+fn zero_divisor_fails_with_clock_error() {
+    let s = synthetic::chain(4);
+    let k = kernel_of("chain4", s.dfg, s.iter_marker);
+    let err = RunRequest::new(&k)
+        .divisors([9, 3, 0])
+        .run()
+        .expect_err("a zero divisor must not run");
+    assert!(
+        matches!(err, Error::Clock(RatioError::ZeroDivisor)),
+        "wrong variant: {err:?}"
+    );
+}
+
+#[test]
+fn oversized_kernel_fails_with_map_error() {
+    // 100 pipeline stages plus source and sink cannot place on the
+    // default 8x8 array.
+    let s = synthetic::chain(100);
+    let k = kernel_of("chain100", s.dfg, s.iter_marker);
+    let err = RunRequest::new(&k)
+        .run()
+        .expect_err("a 100-node chain must not place on 64 PEs");
+    match err {
+        Error::Map(MapError::TooManyNodes { nodes, pes }) => {
+            assert!(nodes > pes, "{nodes} nodes should exceed {pes} PEs");
+            assert_eq!(pes, 64);
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn too_many_memory_nodes_fail_with_map_error() {
+    // 20 independent load paths: well under 64 nodes total, but more
+    // memory ops than the 16 perimeter (memory-row) PE slots.
+    let mut g = Dfg::new();
+    let mut marker = None;
+    for i in 0..20 {
+        let src = g.add_node(Op::Source, format!("a{i}")).id();
+        let ld = g.add_node(Op::Load, format!("ld{i}")).id();
+        let sink = g.add_node(Op::Sink, format!("s{i}")).id();
+        g.connect(src, ld);
+        g.connect(ld, sink);
+        marker.get_or_insert(ld);
+    }
+    let k = kernel_of("loads20", g, marker.expect("at least one load"));
+    let err = RunRequest::new(&k)
+        .run()
+        .expect_err("20 memory nodes must not place on 16 memory slots");
+    match err {
+        Error::Map(MapError::TooManyMemoryNodes { nodes, slots }) => {
+            assert_eq!(nodes, 20);
+            assert_eq!(slots, 16);
+        }
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn map_errors_chain_the_mapping_stage() {
+    let s = synthetic::chain(100);
+    let k = kernel_of("chain100", s.dfg, s.iter_marker);
+    let err = RunRequest::new(&k).run().expect_err("must not place");
+    let chain = error_chain(&err);
+    assert!(chain.starts_with("error: mapping failed"), "{chain}");
+    assert!(chain.contains("caused by:"), "{chain}");
+}

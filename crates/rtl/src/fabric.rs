@@ -187,18 +187,18 @@ impl Activity {
 }
 
 #[derive(Debug)]
-struct PeState {
-    config: PeConfig,
-    queues: [BisyncQueue; 4],
+pub(crate) struct PeState {
+    pub(crate) config: PeConfig,
+    pub(crate) queues: [BisyncQueue; 4],
     /// Which local users (0 = compute, 1/2 = bypass slots) consume each
     /// direction's queue, derived from the configuration. The front
     /// token pops once all of them have taken it (eager fork).
-    queue_users: [[bool; 3]; 4],
+    pub(crate) queue_users: [[bool; 3]; 4],
     /// Clock domain of the neighbor driving each queue (for the
     /// traditional suppressor's safe-edge lookup).
-    queue_src_mode: [Option<VfMode>; 4],
-    reg: Option<Token>,
-    init_pending: bool,
+    pub(crate) queue_src_mode: [Option<VfMode>; 4],
+    pub(crate) reg: Option<Token>,
+    pub(crate) init_pending: bool,
 }
 
 fn queue_users(cfg: &PeConfig) -> [[bool; 3]; 4] {
@@ -217,7 +217,7 @@ fn queue_users(cfg: &PeConfig) -> [[bool; 3]; 4] {
 }
 
 #[derive(Debug, Clone)]
-enum Plan {
+pub(crate) enum Plan {
     Compute {
         pe: Coord,
         pops: Vec<Dir>,
@@ -240,14 +240,14 @@ enum Plan {
 /// Per-edge stall bookkeeping for one PE's decision pass: the legacy
 /// per-cause event counts plus the flags the edge classifier needs.
 #[derive(Debug, Default)]
-struct EdgeTally {
+pub(crate) struct EdgeTally {
     /// Stalled input causes this edge (legacy event count).
-    input_stalls: u64,
+    pub(crate) input_stalls: u64,
     /// Stalled output causes this edge (legacy event count).
-    output_stalls: u64,
+    pub(crate) output_stalls: u64,
     /// Some required token was present but held by the suppressor /
     /// register aging.
-    suppressed: bool,
+    pub(crate) suppressed: bool,
 }
 
 /// Why an operand read failed this edge.
@@ -263,12 +263,12 @@ enum StallCause {
 /// The fabric simulator.
 #[derive(Debug)]
 pub struct Fabric {
-    width: usize,
-    height: usize,
-    grid: Vec<Vec<PeState>>,
-    scratch: Scratchpad,
-    config: FabricConfig,
-    checker: ClockChecker,
+    pub(crate) width: usize,
+    pub(crate) height: usize,
+    pub(crate) grid: Vec<Vec<PeState>>,
+    pub(crate) scratch: Scratchpad,
+    pub(crate) config: FabricConfig,
+    pub(crate) checker: ClockChecker,
 }
 
 impl Fabric {
@@ -340,7 +340,7 @@ impl Fabric {
         }
     }
 
-    fn neighbor(&self, (x, y): Coord, dir: Dir) -> Option<Coord> {
+    pub(crate) fn neighbor(&self, (x, y): Coord, dir: Dir) -> Option<Coord> {
         match dir {
             Dir::North if y > 0 => Some((x, y - 1)),
             Dir::South if y + 1 < self.height => Some((x, y + 1)),
@@ -353,7 +353,7 @@ impl Fabric {
     /// Can `value` be delivered to every direction in `mask` (all
     /// target queues have space)? Directions off the array edge are
     /// dropped silently (they can only arise from malformed configs).
-    fn mask_ready(&self, pe: Coord, mask: &[bool; 4]) -> bool {
+    pub(crate) fn mask_ready(&self, pe: Coord, mask: &[bool; 4]) -> bool {
         Dir::ALL.iter().enumerate().all(|(i, &dir)| {
             if !mask[i] {
                 return true;
@@ -382,7 +382,19 @@ impl Fabric {
         }
     }
 
-    /// Run to completion.
+    /// Run to completion with the selected engine. Both engines are
+    /// bit-identical by contract (see [`crate::engine`]); the dense
+    /// stepper is the reference oracle, the event-driven scheduler the
+    /// fast path.
+    pub fn run_with(self, engine: crate::engine::Engine) -> Activity {
+        match engine {
+            crate::engine::Engine::Dense => self.run(),
+            crate::engine::Engine::EventDriven => crate::engine::run_event(self),
+        }
+    }
+
+    /// Run to completion with the dense reference stepper: every PE is
+    /// examined on every PLL tick.
     #[allow(clippy::needless_range_loop)]
     pub fn run(mut self) -> Activity {
         let (w, h) = (self.width, self.height);
@@ -621,7 +633,7 @@ impl Fabric {
         }
     }
 
-    fn decide(&self, pe: Coord, t: u64, plans: &mut Vec<Plan>, tally: &mut EdgeTally) {
+    pub(crate) fn decide(&self, pe: Coord, t: u64, plans: &mut Vec<Plan>, tally: &mut EdgeTally) {
         let (x, y) = pe;
         let state = &self.grid[y][x];
         let cfg = state.config;

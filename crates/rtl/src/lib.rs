@@ -10,6 +10,8 @@
 //!   br control, multi-purpose registers, and perimeter SRAM access.
 //!   All-nominal clocks model an **E-CGRA**; mixed clocks model the
 //!   **UE-CGRA**.
+//! * [`engine`] — engine selection: the dense reference stepper vs.
+//!   the event-driven scheduler, bit-identical by contract.
 //! * [`queue`] — the two-entry bisynchronous queues whose visibility
 //!   rule embodies the elasticity-aware suppressor.
 //! * [`scratchpad`] — the perimeter SRAM banks.
@@ -41,12 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod config_load;
+pub mod engine;
 pub mod fabric;
 pub mod inelastic;
 pub mod queue;
 pub mod scratchpad;
 pub mod trace;
 
+pub use engine::Engine;
 pub use fabric::{Activity, Fabric, FabricConfig, FabricStop, SuppressorKind};
 pub use inelastic::InelasticSchedule;
 pub use scratchpad::Scratchpad;

@@ -117,10 +117,16 @@ impl BisyncQueue {
     /// Record that `user` consumed the front token, then pop it once
     /// every user in `required` has taken it.
     ///
+    /// Returns `true` when this take actually popped the front token —
+    /// the queue's wakeup edge: a pop frees a slot, so the producer
+    /// feeding this queue may become unblocked. The event-driven
+    /// engine uses the return value to re-arm that producer; the dense
+    /// reference stepper ignores it.
+    ///
     /// # Panics
     ///
     /// Panics when empty or on double-take.
-    pub fn take(&mut self, user: usize, required: [bool; 3]) {
+    pub fn take(&mut self, user: usize, required: [bool; 3]) -> bool {
         assert!(!self.slots.is_empty(), "take from empty queue");
         assert!(!self.front_taken[user], "double take by user {user}");
         self.front_taken[user] = true;
@@ -129,6 +135,7 @@ impl BisyncQueue {
             self.slots.pop_front();
             self.front_taken = [false; 3];
         }
+        done
     }
 
     /// Remove and return the front token (single-user queues).
@@ -195,12 +202,12 @@ mod tests {
         q.push(6, 0);
         let required = [true, true, false];
         assert_eq!(q.front_visible_for(10, 3, 0), Some(5));
-        q.take(0, required);
+        assert!(!q.take(0, required), "first user does not pop");
         // User 0 no longer sees the front; user 1 still does.
         assert_eq!(q.front_visible_for(10, 3, 0), None);
         assert_eq!(q.front_visible_for(10, 3, 1), Some(5));
         assert_eq!(q.len(), 2, "token stays until all users take");
-        q.take(1, required);
+        assert!(q.take(1, required), "last user pops");
         assert_eq!(q.len(), 1, "popped after the last user");
         assert_eq!(q.front_visible_for(10, 3, 0), Some(6));
     }
