@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
+
 use uecgra_core::experiments::KernelRuns;
 use uecgra_core::pipeline::Engine;
 use uecgra_core::report::run_report;

@@ -375,6 +375,60 @@ impl Bitstream {
         Ok(Bitstream { grid })
     }
 
+    /// Check the structural invariants the fabric depends on but
+    /// cannot express in the type: a rectangular grid, at most one
+    /// driver per output direction of each PE (two drivers could
+    /// double-push a neighbor queue in one tick — a credit-protocol
+    /// break), and no `Const` operand without a constant word.
+    ///
+    /// Bitstreams produced by [`Bitstream::assemble`] always pass;
+    /// this guards hand-built or corrupted configurations entering
+    /// through `RunRequest`-style front doors, mapping them to a
+    /// structured [`MapError::MalformedBitstream`] instead of letting
+    /// the simulator trip a runtime protocol violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::MalformedBitstream`] naming the first
+    /// offending PE.
+    pub fn validate(&self) -> Result<(), crate::mapping::MapError> {
+        use crate::mapping::MapError;
+        let width = self.grid.first().map_or(0, Vec::len);
+        for (y, row) in self.grid.iter().enumerate() {
+            if row.len() != width {
+                return Err(MapError::MalformedBitstream {
+                    pe: (0, y),
+                    reason: "ragged grid row",
+                });
+            }
+            for (x, cfg) in row.iter().enumerate() {
+                for dir in Dir::ALL {
+                    let drivers = cfg.alu_true_mask[dir as usize] as u32
+                        + cfg.alu_false_mask[dir as usize] as u32
+                        + cfg
+                            .bypass
+                            .iter()
+                            .flatten()
+                            .filter(|b| b.dst_mask[dir as usize])
+                            .count() as u32;
+                    if drivers > 1 {
+                        return Err(MapError::MalformedBitstream {
+                            pe: (x, y),
+                            reason: "multiple drivers for one output direction",
+                        });
+                    }
+                }
+                if cfg.operands.contains(&OperandSel::Const) && cfg.constant.is_none() {
+                    return Err(MapError::MalformedBitstream {
+                        pe: (x, y),
+                        reason: "const operand selected without a constant word",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Serialize to packed words in systolic load order (row-major,
     /// matching the top-to-bottom configuration flow of Section IV-A).
     pub fn words(&self) -> Vec<u64> {
@@ -458,7 +512,62 @@ mod tests {
             assert_eq!(compute, k.dfg.pe_node_count(), "{}", k.name);
             assert!(gated > 0, "{}: kernels underutilize the 8x8", k.name);
             assert_eq!(bs.words().len(), mapped.shape.len());
+            assert_eq!(
+                bs.validate(),
+                Ok(()),
+                "{}: assembled bitstream valid",
+                k.name
+            );
         }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_bitstreams() {
+        use crate::mapping::MapError;
+        // Conflicting drivers: ALU and a bypass both push east.
+        let mut grid = vec![vec![PeConfig::default(); 2]; 1];
+        grid[0][0] = PeConfig {
+            role: PeRole::Compute(Op::Add),
+            operands: [OperandSel::Const, OperandSel::Const],
+            constant: Some(1),
+            alu_true_mask: [false, true, false, false],
+            bypass: [
+                Some(Bypass {
+                    src: Dir::West,
+                    dst_mask: [false, true, false, false],
+                }),
+                None,
+            ],
+            ..PeConfig::default()
+        };
+        let bs = Bitstream { grid };
+        assert_eq!(
+            bs.validate(),
+            Err(MapError::MalformedBitstream {
+                pe: (0, 0),
+                reason: "multiple drivers for one output direction",
+            })
+        );
+
+        // Const operand without a constant word.
+        let mut grid = vec![vec![PeConfig::default(); 1]; 1];
+        grid[0][0] = PeConfig {
+            role: PeRole::Compute(Op::Add),
+            operands: [OperandSel::Const, OperandSel::None],
+            constant: None,
+            ..PeConfig::default()
+        };
+        assert!(matches!(
+            Bitstream { grid }.validate(),
+            Err(MapError::MalformedBitstream { pe: (0, 0), .. })
+        ));
+
+        // Ragged rows.
+        let grid = vec![vec![PeConfig::default(); 2], vec![PeConfig::default(); 1]];
+        assert!(matches!(
+            Bitstream { grid }.validate(),
+            Err(MapError::MalformedBitstream { pe: (0, 1), .. })
+        ));
     }
 
     #[test]

@@ -90,6 +90,16 @@ pub enum MapError {
     },
     /// Routing failed to find disjoint paths after all retries.
     Unroutable(EdgeId),
+    /// A hand-built or corrupted bitstream violates a structural
+    /// invariant the fabric depends on (reported by
+    /// `Bitstream::validate` before execution so callers get a
+    /// structured error instead of a runtime protocol violation).
+    MalformedBitstream {
+        /// The offending PE.
+        pe: Coord,
+        /// What is wrong with its configuration.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -102,6 +112,13 @@ impl fmt::Display for MapError {
                 write!(f, "{nodes} memory nodes exceed {slots} perimeter slots")
             }
             MapError::Unroutable(e) => write!(f, "edge {e} could not be routed"),
+            MapError::MalformedBitstream { pe, reason } => {
+                write!(
+                    f,
+                    "malformed bitstream at PE ({}, {}): {reason}",
+                    pe.0, pe.1
+                )
+            }
         }
     }
 }

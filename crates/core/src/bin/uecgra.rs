@@ -27,12 +27,12 @@
 //! ```
 
 use std::process::ExitCode;
+use uecgra_core::cli::{parse_args, usage};
 use uecgra_core::error::{error_chain, Error};
 use uecgra_core::pipeline::{CgraRun, Policy};
 use uecgra_core::report::run_report;
 use uecgra_probe::{Phase, ProbeSink as _, RunReport, SchemaError, TimingSink};
 use uecgra_rtl::fabric::{Fabric, FabricConfig};
-use uecgra_rtl::Engine;
 
 use uecgra_clock::VfMode;
 use uecgra_compiler::bitstream::{Bitstream, PeRole};
@@ -41,18 +41,6 @@ use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
 use uecgra_compiler::opt::optimize;
 use uecgra_compiler::parse::parse;
 use uecgra_compiler::power_map::{power_map_routed, Objective};
-
-struct Args {
-    command: String,
-    source: String,
-    policy: String,
-    engine: Engine,
-    seed: u64,
-    mem_words: usize,
-    vcd: Option<String>,
-    dump: Option<(usize, usize)>,
-    json: Option<String>,
-}
 
 /// CLI failures: argument/usage problems keep their plain one-line
 /// form; pipeline failures carry the unified [`Error`] so `main` can
@@ -72,59 +60,6 @@ impl From<Error> for CliError {
     fn from(e: Error) -> Self {
         CliError::Pipeline(e)
     }
-}
-
-fn usage() -> String {
-    "usage: uecgra <run|compile|check-report> <file> [--policy e|eopt|popt] \
-     [--engine dense|event] [--seed N] [--mem-words N] [--vcd out.vcd] \
-     [--dump-mem A..B] [--json report.json]"
-        .to_string()
-}
-
-fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
-    let _ = argv.next();
-    let command = argv.next().ok_or_else(usage)?;
-    let source = argv.next().ok_or_else(usage)?;
-    let mut args = Args {
-        command,
-        source,
-        policy: "popt".into(),
-        engine: Engine::default(),
-        seed: 7,
-        mem_words: 8192,
-        vcd: None,
-        dump: None,
-        json: None,
-    };
-    while let Some(flag) = argv.next() {
-        let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
-        match flag.as_str() {
-            "--policy" => args.policy = value()?,
-            "--engine" => {
-                let v = value()?;
-                args.engine = Engine::parse(&v)
-                    .ok_or_else(|| format!("--engine: unknown engine {v} (use dense|event)"))?;
-            }
-            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--mem-words" => {
-                args.mem_words = value()?.parse().map_err(|e| format!("--mem-words: {e}"))?
-            }
-            "--vcd" => args.vcd = Some(value()?),
-            "--dump-mem" => {
-                let v = value()?;
-                let (a, b) = v
-                    .split_once("..")
-                    .ok_or_else(|| "--dump-mem expects A..B".to_string())?;
-                args.dump = Some((
-                    a.parse().map_err(|e| format!("--dump-mem: {e}"))?,
-                    b.parse().map_err(|e| format!("--dump-mem: {e}"))?,
-                ));
-            }
-            "--json" => args.json = Some(value()?),
-            other => return Err(format!("unknown flag {other}\n{}", usage())),
-        }
-    }
-    Ok(args)
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,186 @@
+//! Argument parsing for the `uecgra` CLI.
+//!
+//! Extracted from the binary so it can be unit-tested: the parser
+//! takes any `String` iterator (the binary passes `std::env::args`,
+//! tests pass literals). Two historical misbehaviors are fixed here
+//! and locked in by tests:
+//!
+//! * duplicate flags used to be silently last-wins — they are now
+//!   rejected with an error naming the flag, so `--seed 3 --seed 9`
+//!   cannot quietly drop half of a command line;
+//! * a flag missing its value reported a bare `needs a value` — the
+//!   message still names the flag and now also survives the flag
+//!   being the final token.
+
+use uecgra_rtl::Engine;
+
+/// The parsed `uecgra` command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Subcommand: `run`, `compile`, or `check-report`.
+    pub command: String,
+    /// Source (or report) file path.
+    pub source: String,
+    /// Policy name (`e`, `eopt`, `popt`).
+    pub policy: String,
+    /// Simulation engine.
+    pub engine: Engine,
+    /// Mapping seed.
+    pub seed: u64,
+    /// Scratchpad size in words.
+    pub mem_words: usize,
+    /// Waveform output path.
+    pub vcd: Option<String>,
+    /// Memory dump range `A..B`.
+    pub dump: Option<(usize, usize)>,
+    /// Telemetry report output path.
+    pub json: Option<String>,
+}
+
+/// The one-line usage string.
+pub fn usage() -> String {
+    "usage: uecgra <run|compile|check-report> <file> [--policy e|eopt|popt] \
+     [--engine dense|event] [--seed N] [--mem-words N] [--vcd out.vcd] \
+     [--dump-mem A..B] [--json report.json]"
+        .to_string()
+}
+
+/// Parse a full argument vector (including `argv[0]`, which is
+/// skipped).
+///
+/// # Errors
+///
+/// Returns a one-line usage/diagnostic string on a missing
+/// subcommand or file, an unknown flag, an unparsable value, a flag
+/// without its value, or a duplicated flag.
+pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, String> {
+    let mut argv = argv.into_iter();
+    let _ = argv.next();
+    let command = argv.next().ok_or_else(usage)?;
+    let source = argv.next().ok_or_else(usage)?;
+    let mut args = CliArgs {
+        command,
+        source,
+        policy: "popt".into(),
+        engine: Engine::default(),
+        seed: 7,
+        mem_words: 8192,
+        vcd: None,
+        dump: None,
+        json: None,
+    };
+    let mut seen: Vec<String> = Vec::new();
+    while let Some(flag) = argv.next() {
+        if seen.contains(&flag) {
+            return Err(format!("duplicate flag {flag}"));
+        }
+        seen.push(flag.clone());
+        let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--policy" => args.policy = value()?,
+            "--engine" => {
+                let v = value()?;
+                args.engine = Engine::parse(&v)
+                    .ok_or_else(|| format!("--engine: unknown engine {v} (use dense|event)"))?;
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--mem-words" => {
+                args.mem_words = value()?.parse().map_err(|e| format!("--mem-words: {e}"))?
+            }
+            "--vcd" => args.vcd = Some(value()?),
+            "--dump-mem" => {
+                let v = value()?;
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| "--dump-mem expects A..B".to_string())?;
+                args.dump = Some((
+                    a.parse().map_err(|e| format!("--dump-mem: {e}"))?,
+                    b.parse().map_err(|e| format!("--dump-mem: {e}"))?,
+                ));
+            }
+            "--json" => args.json = Some(value()?),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<CliArgs, String> {
+        parse_args(std::iter::once("uecgra".to_string()).chain(words.iter().map(|s| s.to_string())))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let a = parse(&["run", "k.loop"]).unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.source, "k.loop");
+        assert_eq!(a.policy, "popt");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.mem_words, 8192);
+        assert_eq!(a.json, None);
+
+        let a = parse(&[
+            "run",
+            "k.loop",
+            "--policy",
+            "e",
+            "--seed",
+            "9",
+            "--engine",
+            "dense",
+            "--dump-mem",
+            "0..16",
+            "--json",
+            "out.json",
+        ])
+        .unwrap();
+        assert_eq!(a.policy, "e");
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.engine, Engine::Dense);
+        assert_eq!(a.dump, Some((0, 16)));
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected_by_name() {
+        let e = parse(&["run", "k.loop", "--seed", "3", "--seed", "9"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --seed");
+        let e = parse(&["run", "k.loop", "--json", "a", "--json", "b"]).unwrap_err();
+        assert_eq!(e, "duplicate flag --json");
+    }
+
+    #[test]
+    fn missing_values_name_the_flag() {
+        let e = parse(&["run", "k.loop", "--seed"]).unwrap_err();
+        assert_eq!(e, "--seed needs a value");
+        let e = parse(&["run", "k.loop", "--seed", "3", "--vcd"]).unwrap_err();
+        assert_eq!(e, "--vcd needs a value");
+    }
+
+    #[test]
+    fn malformed_values_are_diagnosed() {
+        assert!(parse(&["run", "k.loop", "--seed", "zebra"])
+            .unwrap_err()
+            .starts_with("--seed:"));
+        assert_eq!(
+            parse(&["run", "k.loop", "--dump-mem", "16"]).unwrap_err(),
+            "--dump-mem expects A..B"
+        );
+        assert!(parse(&["run", "k.loop", "--engine", "warp"])
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(parse(&["run", "k.loop", "--frobnicate"])
+            .unwrap_err()
+            .starts_with("unknown flag --frobnicate"));
+    }
+
+    #[test]
+    fn missing_positionals_print_usage() {
+        assert_eq!(parse(&[]).unwrap_err(), usage());
+        assert_eq!(parse(&["run"]).unwrap_err(), usage());
+    }
+}

@@ -13,7 +13,7 @@ use uecgra_compiler::bitstream::BitstreamError;
 use uecgra_compiler::ir::IrError;
 use uecgra_compiler::mapping::MapError;
 use uecgra_compiler::parse::ParseError;
-use uecgra_rtl::TraceError;
+use uecgra_rtl::{ProtocolViolation, TraceError};
 
 /// Any failure of the compile-and-execute pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +32,27 @@ pub enum Error {
     Trace(TraceError),
     /// The fabric hit its tick limit without completing.
     DidNotTerminate,
+    /// The elastic-protocol checker detected a fatal invariant
+    /// violation (pop from empty, double take, credit-less push, or an
+    /// out-of-bounds memory access) and stopped the run.
+    Protocol(ProtocolViolation),
+    /// The run completed but produced too few iterations to measure a
+    /// steady-state initiation interval.
+    NoSteadyState {
+        /// Iterations the marker actually completed.
+        iterations: u64,
+    },
+    /// The fabric made no forward progress (livelock/deadlock — e.g.
+    /// under injected faults) and quiesced before reaching its
+    /// iteration target.
+    Stalled {
+        /// The PLL tick at which the run gave up.
+        cycle: u64,
+        /// The PE with the worst stall attribution (operand,
+        /// suppressed, and backpressure edges summed — the probe
+        /// layer's edge classification).
+        pe: (usize, usize),
+    },
     /// A file could not be read or written (CLI paths).
     Io {
         /// The file involved.
@@ -53,6 +74,16 @@ impl std::fmt::Display for Error {
             Error::Assemble(_) => write!(f, "bitstream assembly failed"),
             Error::Trace(_) => write!(f, "waveform dump failed"),
             Error::DidNotTerminate => write!(f, "fabric execution did not terminate"),
+            Error::Protocol(_) => write!(f, "elastic-protocol invariant violated"),
+            Error::NoSteadyState { iterations } => write!(
+                f,
+                "run completed only {iterations} iterations — too few for a steady-state window"
+            ),
+            Error::Stalled { cycle, pe } => write!(
+                f,
+                "fabric stalled without progress at tick {cycle} (worst stall: PE ({}, {}))",
+                pe.0, pe.1
+            ),
             Error::Io { path, .. } => write!(f, "i/o failed on `{path}`"),
             Error::Report(_) => write!(f, "telemetry report validation failed"),
         }
@@ -69,6 +100,9 @@ impl std::error::Error for Error {
             Error::Assemble(e) => Some(e),
             Error::Trace(e) => Some(e),
             Error::DidNotTerminate => None,
+            Error::Protocol(v) => Some(v),
+            Error::NoSteadyState { .. } => None,
+            Error::Stalled { .. } => None,
             Error::Io { .. } => None,
             Error::Report(e) => Some(e),
         }
@@ -108,6 +142,12 @@ impl From<BitstreamError> for Error {
 impl From<TraceError> for Error {
     fn from(e: TraceError) -> Self {
         Error::Trace(e)
+    }
+}
+
+impl From<ProtocolViolation> for Error {
+    fn from(v: ProtocolViolation) -> Self {
+        Error::Protocol(v)
     }
 }
 

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod energy;
 pub mod error;
 pub mod experiments;

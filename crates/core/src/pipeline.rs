@@ -34,6 +34,7 @@ use uecgra_probe::{Phase, ProbeSink};
 use uecgra_rtl::fabric::{Fabric, FabricConfig, FabricStop};
 use uecgra_rtl::Activity;
 pub use uecgra_rtl::Engine;
+pub use uecgra_rtl::FaultPlan;
 
 /// Which machine/policy a kernel is compiled for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,12 +81,26 @@ pub struct CgraRun {
 impl CgraRun {
     /// Steady-state initiation interval in nominal cycles.
     ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoSteadyState`] when the run produced too few
+    /// iterations for the skip-8 steady-state window (e.g. a tiny
+    /// kernel, an aggressive iteration cap, or a faulty run that was
+    /// stopped early).
+    pub fn try_ii(&self) -> Result<f64, Error> {
+        self.activity.steady_ii(8).ok_or(Error::NoSteadyState {
+            iterations: self.activity.iterations(),
+        })
+    }
+
+    /// Steady-state initiation interval in nominal cycles.
+    ///
     /// # Panics
     ///
-    /// Panics if the run produced too few iterations to measure.
+    /// Panics if the run produced too few iterations to measure; use
+    /// [`CgraRun::try_ii`] to get a structured error instead.
     pub fn ii(&self) -> f64 {
-        self.activity
-            .steady_ii(8)
+        self.try_ii()
             .expect("kernel runs enough iterations for a steady state")
     }
 
@@ -135,6 +150,8 @@ pub struct RunRequest<'a> {
     record_events: bool,
     engine: Engine,
     divisors: Option<[u32; 3]>,
+    faults: FaultPlan,
+    watchdog: Option<bool>,
     sink: Option<&'a mut dyn ProbeSink>,
 }
 
@@ -150,6 +167,8 @@ impl<'a> RunRequest<'a> {
             record_events: false,
             engine: Engine::default(),
             divisors: None,
+            faults: FaultPlan::none(),
+            watchdog: None,
             sink: None,
         }
     }
@@ -199,6 +218,27 @@ impl<'a> RunRequest<'a> {
         self
     }
 
+    /// Inject a [`FaultPlan`] into the fabric (default: none). The
+    /// always-on protocol checker converts any resulting invariant
+    /// violation into [`Error::Protocol`]; enabling a non-empty plan
+    /// also arms the no-progress watchdog unless
+    /// [`RunRequest::watchdog`] overrides it.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Force the no-progress watchdog on or off. By default it is
+    /// armed exactly when the fault plan is non-empty: fault-free
+    /// experiments (e.g. the deliberately deadlocking traditional-
+    /// suppressor ablation) must still report their natural stop,
+    /// while a faulty run that quiesces short of its iteration target
+    /// becomes [`Error::Stalled`] with stall attribution.
+    pub fn watchdog(mut self, on: bool) -> Self {
+        self.watchdog = Some(on);
+        self
+    }
+
     /// Attach a [`ProbeSink`] to receive wall-clock phase timings.
     pub fn probe(mut self, sink: &'a mut dyn ProbeSink) -> Self {
         self.sink = Some(sink);
@@ -210,8 +250,11 @@ impl<'a> RunRequest<'a> {
     /// # Errors
     ///
     /// Returns the pipeline [`Error`] of the first failing stage:
-    /// an invalid clock-divisor request, mapping, bitstream assembly,
-    /// or a fabric run that hits its tick limit.
+    /// an invalid clock-divisor request, mapping, bitstream assembly
+    /// or validation, a fabric run that hits its tick limit, a fatal
+    /// elastic-protocol violation ([`Error::Protocol`]), or — with the
+    /// watchdog armed — a run that quiesced short of its iteration
+    /// target ([`Error::Stalled`]).
     pub fn run(self) -> Result<CgraRun, Error> {
         let RunRequest {
             kernel,
@@ -222,6 +265,8 @@ impl<'a> RunRequest<'a> {
             record_events,
             engine,
             divisors,
+            faults,
+            watchdog,
             mut sink,
         } = self;
 
@@ -268,19 +313,41 @@ impl<'a> RunRequest<'a> {
         let bitstream = timed(&mut sink, Phase::Assemble, || {
             Bitstream::assemble(&kernel.dfg, &mapped, &modes)
         })?;
+        bitstream.validate()?;
+        let watchdog = watchdog.unwrap_or(!faults.is_empty());
         let config = FabricConfig {
             clocks,
             marker: Some(mapped.coord_of(kernel.iter_marker)),
             max_marker_fires: iterations,
             queue_capacity: queue_depth,
             record_events,
+            faults,
             ..FabricConfig::default()
         };
         let activity = timed(&mut sink, Phase::Simulate, || {
             Fabric::new(&bitstream, kernel.mem.clone(), config).run_with(engine)
         });
+        if activity.stop == FabricStop::ProtocolViolation {
+            let v = *activity
+                .protocol
+                .first_fatal()
+                .expect("a protocol stop carries its fatal violation");
+            return Err(Error::Protocol(v));
+        }
         if activity.stop == FabricStop::TickLimit {
             return Err(Error::DidNotTerminate);
+        }
+        // No-progress watchdog: a quiesced fabric that delivered fewer
+        // marker fires than the kernel's iteration target has live- or
+        // deadlocked (under faults this is the expected failure mode of
+        // a permanently stuck handshake or stalled domain). Attribute
+        // the stall to the PE with the most blocked edges.
+        let expected = iterations.unwrap_or(kernel.iters as u64);
+        if watchdog && activity.iterations() < expected {
+            return Err(Error::Stalled {
+                cycle: activity.ticks,
+                pe: worst_stalled_pe(&activity),
+            });
         }
 
         Ok(CgraRun {
@@ -292,6 +359,24 @@ impl<'a> RunRequest<'a> {
             iterations: kernel.iters as u64,
         })
     }
+}
+
+/// The PE with the largest summed stall attribution (operand +
+/// suppressed + backpressure edges, the probe layer's partition) —
+/// first in row-major order on ties, so the choice is deterministic.
+fn worst_stalled_pe(act: &Activity) -> (usize, usize) {
+    let mut best = (0usize, 0usize);
+    let mut best_stalls = 0u64;
+    for (y, row) in act.operand_stalls.iter().enumerate() {
+        for (x, &op) in row.iter().enumerate() {
+            let total = op + act.suppressed_stalls[y][x] + act.backpressure_stalls[y][x];
+            if total > best_stalls {
+                best_stalls = total;
+                best = (x, y);
+            }
+        }
+    }
+    best
 }
 
 /// Compile `kernel` under `policy` and execute it to completion on the
@@ -386,6 +471,50 @@ mod tests {
         let e = run_kernel(&k, Policy::ECgra, 7).unwrap();
         let p = run_kernel(&k, Policy::UePerfOpt, 7).unwrap();
         assert!(p.ii() < e.ii(), "POpt {} vs E {}", p.ii(), e.ii());
+    }
+
+    #[test]
+    fn short_runs_surface_no_steady_state() {
+        let k = kernels::llist::build_with_hops(30);
+        let run = RunRequest::new(&k).iterations(3).run().unwrap();
+        match run.try_ii() {
+            Err(Error::NoSteadyState { iterations }) => assert_eq!(iterations, 3),
+            other => panic!("expected NoSteadyState, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_domain_stall_trips_the_watchdog() {
+        use uecgra_clock::VfMode;
+        use uecgra_compiler::bitstream::Dir;
+        use uecgra_rtl::{Fault, FaultKind};
+
+        let k = kernels::llist::build_with_hops(30);
+        let fault = Fault {
+            pe: (0, 0),
+            dir: Dir::North,
+            kind: FaultKind::StallDomain {
+                domain: VfMode::Nominal,
+                from: 0,
+                ticks: u64::MAX,
+            },
+        };
+        // E-CGRA runs everything at nominal, so a permanent nominal
+        // stall freezes the whole fabric: the watchdog (armed by the
+        // non-empty plan) must convert the quiesce into `Stalled`.
+        let err = RunRequest::new(&k)
+            .faults(FaultPlan::single(fault))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Stalled { .. }), "{err:?}");
+
+        // Explicitly disarming the watchdog restores the raw run.
+        let run = RunRequest::new(&k)
+            .faults(FaultPlan::single(fault))
+            .watchdog(false)
+            .run()
+            .unwrap();
+        assert_eq!(run.activity.iterations(), 0);
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub fn run_report(name: impl Into<String>, kernel: Option<&str>, run: &CgraRun) 
         queues,
         timings: None,
         metrics: Vec::new(),
+        fault_campaign: None,
     }
 }
 

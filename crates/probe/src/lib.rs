@@ -37,5 +37,8 @@ pub mod schema;
 pub mod sink;
 
 pub use json::{Json, JsonError};
-pub use schema::{PeReport, PhaseTimings, QueueReport, RunReport, SchemaError, SCHEMA_VERSION};
+pub use schema::{
+    CampaignEntry, CampaignSection, PeReport, PhaseTimings, QueueReport, RunReport, SchemaError,
+    SCHEMA_VERSION, SCHEMA_VERSION_V2,
+};
 pub use sink::{Phase, ProbeSink, TimingSink};

@@ -16,8 +16,16 @@
 
 use crate::json::{Json, JsonError};
 
-/// Version stamp embedded in every report.
+/// Version stamp embedded in every report that carries only the v1
+/// fields.
 pub const SCHEMA_VERSION: u64 = 1;
+
+/// Version stamp for reports that carry the additive v2 fault-campaign
+/// section. v1 documents remain valid v2 documents (the section is
+/// optional), so the parser accepts both and the serializer stamps the
+/// lowest version that can describe the report — existing reproduction
+/// reports stay byte-identical.
+pub const SCHEMA_VERSION_V2: u64 = 2;
 
 /// A schema-level decoding error (structurally valid JSON that does
 /// not describe a report).
@@ -358,6 +366,124 @@ impl QueueReport {
     }
 }
 
+/// One specimen of a fault campaign: a single kernel run under a
+/// single injected fault, with its classified outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampaignEntry {
+    /// Kernel the fault was injected into.
+    pub kernel: String,
+    /// The fault's stable label (e.g. `flip[bit=3,nth=1]@(4,2).West`).
+    pub fault: String,
+    /// Fault class (`flip`, `drop`, `dup`, `stick-valid`,
+    /// `stick-ready`, `stall-domain`).
+    pub class: String,
+    /// Classified outcome: `detected` (checker reported a violation),
+    /// `tolerated` (run completed with the reference result),
+    /// `error` (a structured pipeline error), `undetected` (wrong
+    /// result, no violation — a gate failure), or `abort` (a panic —
+    /// a gate failure).
+    pub outcome: String,
+    /// Human-readable detail: the first violation or error text.
+    pub detail: String,
+    /// Number of protocol violations recorded.
+    pub violations: u64,
+}
+
+impl CampaignEntry {
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("fault", Json::Str(self.fault.clone())),
+            ("class", Json::Str(self.class.clone())),
+            ("outcome", Json::Str(self.outcome.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+            ("violations", Json::Uint(self.violations)),
+        ])
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<CampaignEntry, SchemaError> {
+        Ok(CampaignEntry {
+            kernel: req_str(v, "kernel")?,
+            fault: req_str(v, "fault")?,
+            class: req_str(v, "class")?,
+            outcome: req_str(v, "outcome")?,
+            detail: req_str(v, "detail")?,
+            violations: req_u64(v, "violations")?,
+        })
+    }
+}
+
+/// The schema-v2 fault-campaign section: seeded injection sweep
+/// results aggregated over one or more kernels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CampaignSection {
+    /// Campaign seed (fault plans are deterministic in it).
+    pub seed: u64,
+    /// False for the control leg (checker on, injector off).
+    pub faults_enabled: bool,
+    /// Specimens whose fault the checker detected.
+    pub detected: u64,
+    /// Specimens absorbed by the elastic protocol (reference result,
+    /// no violation) — expected for handshake/timing faults.
+    pub tolerated: u64,
+    /// Specimens converted into structured pipeline errors.
+    pub structured_errors: u64,
+    /// Specimens that corrupted the result silently (gate failures).
+    pub undetected: u64,
+    /// Per-specimen records.
+    pub entries: Vec<CampaignEntry>,
+}
+
+impl CampaignSection {
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("seed", Json::Uint(self.seed)),
+            ("faults_enabled", Json::Bool(self.faults_enabled)),
+            ("detected", Json::Uint(self.detected)),
+            ("tolerated", Json::Uint(self.tolerated)),
+            ("structured_errors", Json::Uint(self.structured_errors)),
+            ("undetected", Json::Uint(self.undetected)),
+            (
+                "entries",
+                Json::Array(self.entries.iter().map(CampaignEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<CampaignSection, SchemaError> {
+        let entries = req(v, "entries")?
+            .as_array()
+            .ok_or_else(|| SchemaError::new("field `entries` must be an array"))?
+            .iter()
+            .map(CampaignEntry::from_json)
+            .collect::<Result<Vec<CampaignEntry>, SchemaError>>()?;
+        let faults_enabled = req(v, "faults_enabled")?
+            .as_bool()
+            .ok_or_else(|| SchemaError::new("field `faults_enabled` must be a boolean"))?;
+        Ok(CampaignSection {
+            seed: req_u64(v, "seed")?,
+            faults_enabled,
+            detected: req_u64(v, "detected")?,
+            tolerated: req_u64(v, "tolerated")?,
+            structured_errors: req_u64(v, "structured_errors")?,
+            undetected: req_u64(v, "undetected")?,
+            entries,
+        })
+    }
+}
+
 /// One run's full telemetry.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -400,13 +526,22 @@ pub struct RunReport {
     /// Free-form scalar metrics (figure binaries put their published
     /// numbers here).
     pub metrics: Vec<(String, f64)>,
+    /// Schema-v2 fault-campaign results. Presence of this section is
+    /// what bumps the serialized `schema_version` to 2; plain run
+    /// reports stay at version 1 byte-for-byte.
+    pub fault_campaign: Option<CampaignSection>,
 }
 
 impl RunReport {
     /// Serialize to a [`Json`] value with the canonical field order.
     pub fn to_json(&self) -> Json {
+        let version = if self.fault_campaign.is_some() {
+            SCHEMA_VERSION_V2
+        } else {
+            SCHEMA_VERSION
+        };
         let mut fields: Vec<(String, Json)> = vec![
-            ("schema_version".into(), Json::Uint(SCHEMA_VERSION)),
+            ("schema_version".into(), Json::Uint(version)),
             ("name".into(), Json::Str(self.name.clone())),
         ];
         if let Some(kernel) = &self.kernel {
@@ -457,6 +592,9 @@ impl RunReport {
                     .collect(),
             ),
         ));
+        if let Some(c) = &self.fault_campaign {
+            fields.push(("fault_campaign".into(), c.to_json()));
+        }
         Json::Object(fields)
     }
 
@@ -468,9 +606,10 @@ impl RunReport {
     /// or an unknown schema version.
     pub fn from_json(v: &Json) -> Result<RunReport, SchemaError> {
         let version = req_u64(v, "schema_version")?;
-        if version != SCHEMA_VERSION {
+        if version != SCHEMA_VERSION && version != SCHEMA_VERSION_V2 {
             return Err(SchemaError::new(format!(
-                "unsupported schema version {version} (expected {SCHEMA_VERSION})"
+                "unsupported schema version {version} \
+                 (expected {SCHEMA_VERSION} or {SCHEMA_VERSION_V2})"
             )));
         }
         let pes = req(v, "pes")?
@@ -501,6 +640,10 @@ impl RunReport {
                 .collect::<Result<Vec<(String, f64)>, SchemaError>>()?,
             Some(_) => return Err(SchemaError::new("field `metrics` must be an object")),
         };
+        let fault_campaign = match v.get("fault_campaign") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(CampaignSection::from_json(c)?),
+        };
         Ok(RunReport {
             name: req_str(v, "name")?,
             kernel: opt_str(v, "kernel")?,
@@ -519,6 +662,7 @@ impl RunReport {
             queues,
             timings,
             metrics,
+            fault_campaign,
         })
     }
 
@@ -587,6 +731,7 @@ mod tests {
             }],
             timings: None,
             metrics: vec![("speedup".into(), 1.44)],
+            fault_campaign: None,
         }
     }
 
@@ -680,6 +825,42 @@ mod tests {
         assert_eq!(t.total_ns(), 642);
         let back = PhaseTimings::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn fault_campaign_section_round_trips_at_v2() {
+        let mut report = sample_report();
+        report.fault_campaign = Some(CampaignSection {
+            seed: 99,
+            faults_enabled: true,
+            detected: 3,
+            tolerated: 2,
+            structured_errors: 1,
+            undetected: 0,
+            entries: vec![CampaignEntry {
+                kernel: "llist".into(),
+                fault: "drop[nth=2]@(4,2).West".into(),
+                class: "drop".into(),
+                outcome: "detected".into(),
+                detail: "protocol violation `token-loss`".into(),
+                violations: 1,
+            }],
+        });
+        let text = RunReport::render_all(std::slice::from_ref(&report));
+        assert!(text.contains("\"schema_version\": 2"), "{text}");
+        assert!(text.contains("\"fault_campaign\""));
+        let back = RunReport::parse_all(&text).unwrap();
+        assert_eq!(back, vec![report]);
+        assert_eq!(RunReport::render_all(&back), text);
+    }
+
+    #[test]
+    fn plain_reports_stay_at_version_1() {
+        // The v2 section is additive: a report without it must render
+        // exactly as it did before the section existed.
+        let text = sample_report().to_json().render();
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(!text.contains("fault_campaign"));
     }
 
     #[test]

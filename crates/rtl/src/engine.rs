@@ -319,7 +319,7 @@ fn deliver_and_wake(
                 catch_up(fab, sched, c, idx, t);
             }
             let back = Dir::between((nx, ny), pe);
-            fab.grid[ny][nx].queues[back as usize].push(value, t);
+            fab.push_checked((nx, ny), back, value, t);
             if wake {
                 ready.insert(sched[idx].clk, idx);
             }
@@ -345,6 +345,14 @@ pub(crate) fn run_event(mut fab: Fabric) -> Activity {
     let quiesce_window = hyper * 3;
     let buckets = fab.config.queue_capacity + 1;
     let traditional = fab.config.suppressor == SuppressorKind::Traditional;
+    // Injected faults (stuck handshakes, domain stalls) change PE
+    // outcomes at fault-plan boundaries with no queue mutation to hook
+    // a wakeup on, so the skip optimization is unsound under them.
+    // With a non-empty plan every evaluated PE simply re-arms: the
+    // engine degrades to dense-equivalent evaluation while keeping the
+    // bit-identical contract (re-evaluating an unchanged PE reproduces
+    // exactly the counters a replay would).
+    let always_armed = !fab.faults.is_empty();
 
     let mut c = Counters::new(n, buckets);
     let mut sched: Vec<PeSched> = (0..n)
@@ -428,7 +436,11 @@ pub(crate) fn run_event(mut fab: Fabric) -> Activity {
                 sched[idx].class = class;
                 sched[idx].in_stalls = tally.input_stalls;
                 sched[idx].out_stalls = tally.output_stalls;
-                if fired || tally.suppressed || (traditional && has_pending_input(&fab, (x, y))) {
+                if always_armed
+                    || fired
+                    || tally.suppressed
+                    || (traditional && has_pending_input(&fab, (x, y)))
+                {
                     ready.insert(sched[idx].clk, idx);
                 }
             }
@@ -445,30 +457,23 @@ pub(crate) fn run_event(mut fab: Fabric) -> Activity {
             for plan in &plans {
                 match plan {
                     Plan::Compute {
-                        pe: (x, y),
+                        pe,
                         pops,
                         consume_reg,
                         ..
                     } => {
                         for &d in pops {
-                            let required = fab.grid[*y][*x].queue_users[d as usize];
-                            if fab.grid[*y][*x].queues[d as usize].take(0, required) {
-                                wake_producer(&fab, &mut sched, &mut c, &mut ready, (*x, *y), d, t);
+                            if fab.take_checked(*pe, d, 0, t) {
+                                wake_producer(&fab, &mut sched, &mut c, &mut ready, *pe, d, t);
                             }
                         }
                         if *consume_reg {
-                            fab.grid[*y][*x].reg = None;
+                            fab.grid[pe.1][pe.0].reg = None;
                         }
                     }
-                    Plan::Bypass {
-                        pe: (x, y),
-                        src,
-                        slot,
-                        ..
-                    } => {
-                        let required = fab.grid[*y][*x].queue_users[*src as usize];
-                        if fab.grid[*y][*x].queues[*src as usize].take(slot + 1, required) {
-                            wake_producer(&fab, &mut sched, &mut c, &mut ready, (*x, *y), *src, t);
+                    Plan::Bypass { pe, src, slot, .. } => {
+                        if fab.take_checked(*pe, *src, slot + 1, t) {
+                            wake_producer(&fab, &mut sched, &mut c, &mut ready, *pe, *src, t);
                         }
                     }
                 }
@@ -504,7 +509,7 @@ pub(crate) fn run_event(mut fab: Fabric) -> Activity {
                             init_value
                         } else {
                             match op {
-                                Op::Load => fab.scratch.read(pe, operands[0]),
+                                Op::Load => fab.load_checked(pe, operands[0], t),
                                 Op::Store => {
                                     stores.push((pe, operands[0], operands[1]));
                                     operands[1]
@@ -550,9 +555,12 @@ pub(crate) fn run_event(mut fab: Fabric) -> Activity {
                 deliver_and_wake(&mut fab, &mut sched, &mut c, &mut ready, pe, mask, value, t);
             }
             for (pe, addr, value) in stores.drain(..) {
-                fab.scratch.write(pe, addr, value);
+                fab.store_checked(pe, addr, value, t);
             }
 
+            if fab.protocol.is_fatal() {
+                break (FabricStop::ProtocolViolation, Some(t), t + 1);
+            }
             if acted {
                 last_act = t;
             }
@@ -607,6 +615,7 @@ pub(crate) fn run_event(mut fab: Fabric) -> Activity {
         }
     }
     let mem_len = fab.scratch.len();
+    let protocol = fab.protocol_report(ticks);
     let queue_occupancy = c
         .queue_occupancy
         .chunks(buckets * w)
@@ -634,6 +643,7 @@ pub(crate) fn run_event(mut fab: Fabric) -> Activity {
         clocks,
         mem: fab.scratch.image(mem_len),
         events: c.events,
+        protocol,
     }
 }
 

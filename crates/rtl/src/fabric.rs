@@ -14,6 +14,8 @@
 //! scratchpad, so final memory images can be checked against host
 //! references.
 
+use crate::checker::{ProtocolChecker, ProtocolReport, ViolationKind};
+use crate::faults::{FaultPlan, FaultState};
 use crate::queue::{BisyncQueue, Token};
 use crate::scratchpad::Scratchpad;
 use uecgra_clock::{ClockChecker, ClockSet, VfMode};
@@ -53,6 +55,10 @@ pub struct FabricConfig {
     /// Record per-event (tick, PE) firing/bypass events for waveform
     /// dumping (costs memory proportional to activity).
     pub record_events: bool,
+    /// Faults to inject (default: none). A non-empty plan switches the
+    /// event-driven engine into all-armed evaluation so both engines
+    /// stay bit-identical under time-windowed faults.
+    pub faults: FaultPlan,
 }
 
 impl Default for FabricConfig {
@@ -65,6 +71,7 @@ impl Default for FabricConfig {
             marker: None,
             suppressor: SuppressorKind::ElasticityAware,
             record_events: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -78,6 +85,10 @@ pub enum FabricStop {
     Quiesced,
     /// The tick limit was hit.
     TickLimit,
+    /// The protocol checker detected a fatal invariant violation
+    /// (see [`crate::checker::ProtocolReport::first_fatal`]); the
+    /// simulated state is no longer meaningful.
+    ProtocolViolation,
 }
 
 /// One recorded event for waveform dumping.
@@ -159,6 +170,10 @@ pub struct Activity {
     pub mem: Vec<u32>,
     /// Recorded events (empty unless `record_events` was set).
     pub events: Vec<FireEvent>,
+    /// The elastic-protocol checker's end-of-run summary (always
+    /// populated; bit-identical across engines; empty `violations` on
+    /// clean runs).
+    pub protocol: ProtocolReport,
 }
 
 impl Activity {
@@ -269,6 +284,8 @@ pub struct Fabric {
     pub(crate) scratch: Scratchpad,
     pub(crate) config: FabricConfig,
     pub(crate) checker: ClockChecker,
+    pub(crate) protocol: ProtocolChecker,
+    pub(crate) faults: FaultState,
 }
 
 impl Fabric {
@@ -293,6 +310,8 @@ impl Fabric {
             })
             .collect();
         let checker = ClockChecker::new(&config.clocks);
+        let protocol = ProtocolChecker::new(width, height);
+        let faults = FaultState::new(config.faults.clone());
         let mut fabric = Fabric {
             width,
             height,
@@ -300,6 +319,8 @@ impl Fabric {
             scratch: Scratchpad::new(mem),
             config,
             checker,
+            protocol,
+            faults,
         };
         // Record each queue's source clock domain (the neighbor that
         // drives it), for the traditional suppressor's LUT.
@@ -321,6 +342,11 @@ impl Fabric {
     /// Front-token visibility for `user` of queue `dir` of PE `pe`
     /// at tick `t`, under the configured suppressor.
     fn queue_visible(&self, pe: Coord, dir: Dir, user: usize, t: u64) -> Option<u32> {
+        // An injected stuck-at-low valid hides the front token; the
+        // elastic protocol absorbs the delay (classified suppressed).
+        if self.faults.valid_stuck(pe, dir, t) {
+            return None;
+        }
         let state = &self.grid[pe.1][pe.0];
         let dst_mode = state.config.clk;
         let period = self.config.clocks.period(dst_mode);
@@ -351,9 +377,10 @@ impl Fabric {
     }
 
     /// Can `value` be delivered to every direction in `mask` (all
-    /// target queues have space)? Directions off the array edge are
-    /// dropped silently (they can only arise from malformed configs).
-    pub(crate) fn mask_ready(&self, pe: Coord, mask: &[bool; 4]) -> bool {
+    /// target queues have space and report ready at tick `t`)?
+    /// Directions off the array edge are dropped silently (they can
+    /// only arise from malformed configs).
+    pub(crate) fn mask_ready(&self, pe: Coord, mask: &[bool; 4], t: u64) -> bool {
         Dir::ALL.iter().enumerate().all(|(i, &dir)| {
             if !mask[i] {
                 return true;
@@ -364,6 +391,7 @@ impl Fabric {
                     // toward this PE.
                     let back = Dir::between((nx, ny), pe);
                     self.grid[ny][nx].queues[back as usize].can_push()
+                        && !self.faults.ready_stuck((nx, ny), back, t)
                 }
                 None => true,
             }
@@ -377,9 +405,126 @@ impl Fabric {
             }
             if let Some((nx, ny)) = self.neighbor(pe, dir) {
                 let back = Dir::between((nx, ny), pe);
-                self.grid[ny][nx].queues[back as usize].push(value, t);
+                self.push_checked((nx, ny), back, value, t);
             }
         }
+    }
+
+    /// Deliver one token into queue `back` of `dst`, routed through
+    /// the fault injector and accounted by the protocol checker on
+    /// both sides. Returns `true` when the queue actually grew (the
+    /// event engine's wake edge). A push without credit — possible
+    /// only with a malformed bitstream (conflicting drivers) or a
+    /// duplication fault — becomes a fatal `Overflow` violation
+    /// instead of a panic.
+    pub(crate) fn push_checked(&mut self, dst: Coord, back: Dir, value: u32, t: u64) -> bool {
+        self.protocol.offer(dst, back, value);
+        let inj = self.faults.inject(dst, back, value);
+        let mut grew = false;
+        for _ in 0..inj.copies {
+            self.protocol.receive(dst, back, inj.value);
+            if self.grid[dst.1][dst.0].queues[back as usize].try_push(inj.value, t) {
+                grew = true;
+            } else {
+                self.protocol
+                    .fatal(dst, Some(back), t, ViolationKind::Overflow);
+            }
+        }
+        grew
+    }
+
+    /// Phase-2 consumption of the front token of queue `dir` of `pe`
+    /// by local `user`, with suppressor-safety checking and pop
+    /// accounting. Mis-scheduled takes (empty queue, double take)
+    /// become fatal protocol violations instead of panics. Returns
+    /// `true` when the take popped the token (the event engine's
+    /// producer-wake edge).
+    pub(crate) fn take_checked(&mut self, pe: Coord, dir: Dir, user: usize, t: u64) -> bool {
+        let (x, y) = pe;
+        let front = self.grid[y][x].queues[dir as usize].front();
+        if let Some(tok) = front {
+            // Suppressor safety: no capture of a token younger than
+            // one receiver period (elasticity-aware), or on an unsafe
+            // edge / younger than one tick (traditional).
+            let dst_mode = self.grid[y][x].config.clk;
+            let period = self.config.clocks.period(dst_mode);
+            let safe = match self.config.suppressor {
+                SuppressorKind::ElasticityAware => t >= tok.written + period,
+                SuppressorKind::Traditional => {
+                    let src = self.grid[y][x].queue_src_mode[dir as usize];
+                    let on_safe_edge =
+                        src.is_none_or(|s| !self.checker.lut(s, dst_mode).is_unsafe_at(t));
+                    on_safe_edge && t > tok.written
+                }
+            };
+            if !safe {
+                self.protocol.record(
+                    pe,
+                    Some(dir),
+                    t,
+                    ViolationKind::SuppressorUnsafe {
+                        age: t.saturating_sub(tok.written),
+                        period,
+                    },
+                );
+            }
+        }
+        let required = self.grid[y][x].queue_users[dir as usize];
+        match self.grid[y][x].queues[dir as usize].try_take(user, required) {
+            Ok(popped) => {
+                if popped {
+                    self.protocol.consume(pe, dir);
+                }
+                popped
+            }
+            Err(e) => {
+                self.protocol.fatal_take(pe, dir, t, e);
+                false
+            }
+        }
+    }
+
+    /// Checked scratchpad load: an out-of-bounds address (reachable
+    /// under payload-flip faults) becomes a fatal violation and reads
+    /// zero instead of aborting.
+    pub(crate) fn load_checked(&mut self, pe: Coord, addr: u32, t: u64) -> u32 {
+        match self.scratch.try_read(pe, addr) {
+            Some(v) => v,
+            None => {
+                self.protocol
+                    .fatal(pe, None, t, ViolationKind::MemoryOutOfBounds { addr });
+                0
+            }
+        }
+    }
+
+    /// Checked scratchpad store (see [`Fabric::load_checked`]).
+    pub(crate) fn store_checked(&mut self, pe: Coord, addr: u32, value: u32, t: u64) {
+        if !self.scratch.try_write(pe, addr, value) {
+            self.protocol
+                .fatal(pe, None, t, ViolationKind::MemoryOutOfBounds { addr });
+        }
+    }
+
+    /// Final occupancy of every input queue, indexed like the protocol
+    /// checker's crossing stats (`(y * width + x) * 4 + dir`).
+    fn crossing_resident(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.width * self.height * 4);
+        for row in &self.grid {
+            for pe in row {
+                for q in &pe.queues {
+                    out.push(q.len() as u64);
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the checker's end-of-run conservation checks (shared by
+    /// both engines; must be called exactly once, after simulation).
+    pub(crate) fn protocol_report(&mut self, t: u64) -> ProtocolReport {
+        let resident = self.crossing_resident();
+        self.protocol.finish(&resident, t)
     }
 
     /// Run to completion with the selected engine. Both engines are
@@ -479,27 +624,20 @@ impl Fabric {
                 acted = true;
                 match plan {
                     Plan::Compute {
-                        pe: (x, y),
+                        pe,
                         pops,
                         consume_reg,
                         ..
                     } => {
                         for &d in pops {
-                            let required = self.grid[*y][*x].queue_users[d as usize];
-                            self.grid[*y][*x].queues[d as usize].take(0, required);
+                            self.take_checked(*pe, d, 0, t);
                         }
                         if *consume_reg {
-                            self.grid[*y][*x].reg = None;
+                            self.grid[pe.1][pe.0].reg = None;
                         }
                     }
-                    Plan::Bypass {
-                        pe: (x, y),
-                        src,
-                        slot,
-                        ..
-                    } => {
-                        let required = self.grid[*y][*x].queue_users[*src as usize];
-                        self.grid[*y][*x].queues[*src as usize].take(slot + 1, required);
+                    Plan::Bypass { pe, src, slot, .. } => {
+                        self.take_checked(*pe, *src, slot + 1, t);
                     }
                 }
             }
@@ -534,7 +672,7 @@ impl Fabric {
                             init_value
                         } else {
                             match op {
-                                Op::Load => self.scratch.read(pe, operands[0]),
+                                Op::Load => self.load_checked(pe, operands[0], t),
                                 Op::Store => {
                                     stores.push((pe, operands[0], operands[1]));
                                     operands[1]
@@ -580,9 +718,14 @@ impl Fabric {
                 self.deliver(pe, mask, value, t);
             }
             for (pe, addr, value) in stores {
-                self.scratch.write(pe, addr, value);
+                self.store_checked(pe, addr, value, t);
             }
 
+            if self.protocol.is_fatal() {
+                stop = FabricStop::ProtocolViolation;
+                t += 1;
+                break;
+            }
             if acted {
                 last_act = t;
             }
@@ -608,6 +751,7 @@ impl Fabric {
             }
         }
         let mem_len = self.scratch.len();
+        let protocol = self.protocol_report(t);
         Activity {
             fires,
             bypass_tokens,
@@ -630,6 +774,7 @@ impl Fabric {
             clocks: self.config.clocks.clone(),
             mem: self.scratch.image(mem_len),
             events,
+            protocol,
         }
     }
 
@@ -639,13 +784,20 @@ impl Fabric {
         let cfg = state.config;
         let period = self.config.clocks.period(cfg.clk);
 
+        // An injected domain stall withholds this PE's clock: the edge
+        // does nothing and classifies as gated (the clock never rose,
+        // as far as the PE is concerned).
+        if self.faults.domain_stalled(cfg.clk, t) {
+            return;
+        }
+
         // Bypass slots (independent of compute; paper: compute and
         // bypass in the same cycle).
         for (i, slot) in cfg.bypass.iter().enumerate() {
             let Some(slot) = slot else { continue };
             match self.queue_visible(pe, slot.src, i + 1, t) {
                 Some(value) => {
-                    if self.mask_ready(pe, &slot.dst_mask) {
+                    if self.mask_ready(pe, &slot.dst_mask, t) {
                         plans.push(Plan::Bypass {
                             pe,
                             src: slot.src,
@@ -678,7 +830,7 @@ impl Fabric {
 
         // Phi bootstrap.
         if state.init_pending {
-            if self.mask_ready(pe, &cfg.alu_true_mask) {
+            if self.mask_ready(pe, &cfg.alu_true_mask, t) {
                 plans.push(Plan::Compute {
                     pe,
                     pops: Vec::new(),
@@ -789,7 +941,7 @@ impl Fabric {
         } else {
             cfg.alu_false_mask
         };
-        if !self.mask_ready(pe, &mask) {
+        if !self.mask_ready(pe, &mask, t) {
             tally.output_stalls += 1;
             return;
         }
@@ -880,13 +1032,13 @@ mod tests {
         let bs = tiny_bitstream();
         let mut f = Fabric::new(&bs, vec![], FabricConfig::default());
         let east_only = [false, true, false, false];
-        assert!(f.mask_ready((0, 0), &east_only));
+        assert!(f.mask_ready((0, 0), &east_only, 0));
         // Fill (1,0)'s west queue.
         f.grid[0][1].queues[Dir::West as usize].push(1, 0);
         f.grid[0][1].queues[Dir::West as usize].push(2, 0);
-        assert!(!f.mask_ready((0, 0), &east_only));
+        assert!(!f.mask_ready((0, 0), &east_only, 0));
         // Off-edge directions are always "ready" (dropped).
-        assert!(f.mask_ready((0, 0), &[true, false, false, false]));
+        assert!(f.mask_ready((0, 0), &[true, false, false, false], 0));
     }
 
     #[test]

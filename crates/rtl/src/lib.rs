@@ -14,6 +14,13 @@
 //!   the event-driven scheduler, bit-identical by contract.
 //! * [`queue`] — the two-entry bisynchronous queues whose visibility
 //!   rule embodies the elasticity-aware suppressor.
+//! * [`faults`] — the deterministic, seeded fault injector (payload
+//!   flips, dropped/duplicated tokens, stuck handshakes, domain
+//!   stalls).
+//! * [`checker`] — the always-on elastic-protocol invariant monitor
+//!   (token/credit conservation, payload integrity, suppressor
+//!   safety) whose fatal violations stop a run with a structured
+//!   error instead of a panic.
 //! * [`scratchpad`] — the perimeter SRAM banks.
 //! * [`inelastic`] — a statically-scheduled IE-CGRA reference model.
 //! * [`config_load`] — configuration and DMA cost models.
@@ -42,16 +49,20 @@
 
 #![warn(missing_docs)]
 
+pub mod checker;
 pub mod config_load;
 pub mod engine;
 pub mod fabric;
+pub mod faults;
 pub mod inelastic;
 pub mod queue;
 pub mod scratchpad;
 pub mod trace;
 
+pub use checker::{ProtocolReport, ProtocolViolation, ViolationKind};
 pub use engine::Engine;
 pub use fabric::{Activity, Fabric, FabricConfig, FabricStop, SuppressorKind};
+pub use faults::{Fault, FaultKind, FaultPlan};
 pub use inelastic::InelasticSchedule;
 pub use scratchpad::Scratchpad;
 pub use trace::{to_vcd, TraceError};

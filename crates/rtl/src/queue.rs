@@ -12,6 +12,20 @@
 
 use std::collections::VecDeque;
 
+/// Why a non-panicking take failed (see [`BisyncQueue::try_take`]).
+/// Either case is a scheduling bug — the protocol checker converts it
+/// into a fatal `ProtocolViolation` instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeError {
+    /// The queue holds no token.
+    Empty,
+    /// `user` already consumed the current front token.
+    DoubleTake {
+        /// The offending local user (0 = compute, 1/2 = bypass).
+        user: usize,
+    },
+}
+
 /// A timestamped token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Token {
@@ -84,8 +98,25 @@ impl BisyncQueue {
     ///
     /// Panics on overflow — producers must check [`BisyncQueue::can_push`].
     pub fn push(&mut self, value: u32, t: u64) {
-        assert!(self.can_push(), "queue overflow");
+        assert!(self.try_push(value, t), "queue overflow");
+    }
+
+    /// Enqueue a token written at tick `t`, returning `false` (and
+    /// leaving the queue untouched) on overflow. The engine-facing
+    /// path: a credit-less push becomes a fatal `Overflow` protocol
+    /// violation instead of a panic.
+    pub fn try_push(&mut self, value: u32, t: u64) -> bool {
+        if !self.can_push() {
+            return false;
+        }
         self.slots.push_back(Token { value, written: t });
+        true
+    }
+
+    /// The front token, if any (not suppressor-gated — callers wanting
+    /// visibility semantics use [`BisyncQueue::front_visible`]).
+    pub fn front(&self) -> Option<Token> {
+        self.slots.front().copied()
     }
 
     /// The front token's value if it is visible to a consumer whose
@@ -127,15 +158,32 @@ impl BisyncQueue {
     ///
     /// Panics when empty or on double-take.
     pub fn take(&mut self, user: usize, required: [bool; 3]) -> bool {
-        assert!(!self.slots.is_empty(), "take from empty queue");
-        assert!(!self.front_taken[user], "double take by user {user}");
+        match self.try_take(user, required) {
+            Ok(popped) => popped,
+            Err(TakeError::Empty) => panic!("take from empty queue"),
+            Err(TakeError::DoubleTake { user }) => panic!("double take by user {user}"),
+        }
+    }
+
+    /// Like [`BisyncQueue::take`], but a mis-scheduled take returns a
+    /// [`TakeError`] instead of panicking. The engine-facing path: the
+    /// protocol checker converts the error into a fatal
+    /// `ProtocolViolation` and the run stops with a structured
+    /// `Error::Protocol`.
+    pub fn try_take(&mut self, user: usize, required: [bool; 3]) -> Result<bool, TakeError> {
+        if self.slots.is_empty() {
+            return Err(TakeError::Empty);
+        }
+        if self.front_taken[user] {
+            return Err(TakeError::DoubleTake { user });
+        }
         self.front_taken[user] = true;
         let done = (0..3).all(|u| !required[u] || self.front_taken[u]);
         if done {
             self.slots.pop_front();
             self.front_taken = [false; 3];
         }
-        done
+        Ok(done)
     }
 
     /// Remove and return the front token (single-user queues).
@@ -144,8 +192,14 @@ impl BisyncQueue {
     ///
     /// Panics when empty.
     pub fn pop(&mut self) -> Token {
+        self.try_pop().expect("pop from empty queue")
+    }
+
+    /// Remove and return the front token, or `None` when empty
+    /// (single-user queues; resets eager-fork bookkeeping either way).
+    pub fn try_pop(&mut self) -> Option<Token> {
         self.front_taken = [false; 3];
-        self.slots.pop_front().expect("pop from empty queue")
+        self.slots.pop_front()
     }
 
     /// Queue capacity.
@@ -219,6 +273,29 @@ mod tests {
         q.push(5, 0);
         q.take(0, [true, true, false]);
         q.take(0, [true, true, false]);
+    }
+
+    #[test]
+    fn try_variants_report_instead_of_panicking() {
+        let mut q = BisyncQueue::new(1);
+        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.try_take(0, [true, false, false]), Err(TakeError::Empty));
+        assert!(q.try_push(9, 2));
+        assert!(!q.try_push(10, 2), "overflow rejected, not panicked");
+        assert_eq!(
+            q.front(),
+            Some(Token {
+                value: 9,
+                written: 2
+            })
+        );
+        assert_eq!(q.try_take(1, [false, true, true]), Ok(false));
+        assert_eq!(
+            q.try_take(1, [false, true, true]),
+            Err(TakeError::DoubleTake { user: 1 })
+        );
+        assert_eq!(q.try_take(2, [false, true, true]), Ok(true));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -56,8 +56,17 @@ impl Scratchpad {
     pub fn read(&mut self, pe: (usize, usize), addr: u32) -> u32 {
         let a = addr as usize;
         assert!(a < self.words.len(), "load from {a} out of bounds");
+        self.try_read(pe, addr).expect("bounds checked")
+    }
+
+    /// Read a word through the port of the memory PE at `pe`,
+    /// returning `None` (and accounting nothing) on an out-of-bounds
+    /// address — the engine-facing path: a fault-corrupted address
+    /// becomes a structured protocol violation, not a process abort.
+    pub fn try_read(&mut self, pe: (usize, usize), addr: u32) -> Option<u32> {
+        let word = self.words.get(addr as usize).copied()?;
         *self.reads.entry(pe).or_insert(0) += 1;
-        self.words[a]
+        Some(word)
     }
 
     /// Write a word through the port of the memory PE at `pe`.
@@ -68,8 +77,19 @@ impl Scratchpad {
     pub fn write(&mut self, pe: (usize, usize), addr: u32, value: u32) {
         let a = addr as usize;
         assert!(a < self.words.len(), "store to {a} out of bounds");
+        assert!(self.try_write(pe, addr, value), "bounds checked");
+    }
+
+    /// Write a word through the port of the memory PE at `pe`,
+    /// returning `false` (and writing nothing) on an out-of-bounds
+    /// address (see [`Scratchpad::try_read`]).
+    pub fn try_write(&mut self, pe: (usize, usize), addr: u32, value: u32) -> bool {
+        let Some(slot) = self.words.get_mut(addr as usize) else {
+            return false;
+        };
+        *slot = value;
         *self.writes.entry(pe).or_insert(0) += 1;
-        self.words[a] = value;
+        true
     }
 
     /// Accesses (reads + writes) performed by the memory PE at `pe`.
@@ -124,5 +144,17 @@ mod tests {
     fn oob_read_panics() {
         let mut s = Scratchpad::new(vec![0; 8]);
         s.read((0, 0), BANK_WORDS as u32 + 5);
+    }
+
+    #[test]
+    fn try_accessors_reject_oob_without_accounting() {
+        let mut s = Scratchpad::new(vec![1, 2, 3]);
+        assert_eq!(s.try_read((0, 0), BANK_WORDS as u32), None);
+        assert!(!s.try_write((0, 0), u32::MAX, 9));
+        assert_eq!(s.accesses((0, 0)), 0, "failed accesses are not billed");
+        assert_eq!(s.try_read((0, 0), 1), Some(2));
+        assert!(s.try_write((0, 0), 2, 9));
+        assert_eq!(s.accesses((0, 0)), 2);
+        assert_eq!(s.image(3), vec![1, 2, 9]);
     }
 }
