@@ -1,0 +1,142 @@
+//! DSE sweep over the Table II kernels: run the design-space explorer
+//! on every evaluation kernel with one shared evaluation cache, print
+//! the frontier-vs-greedy comparison, and enforce the dominance gate
+//! (the frontier's best EDP must match or beat the paper's greedy
+//! `power_map` on every kernel — structural in the explorer, asserted
+//! here end to end).
+//!
+//! Each kernel is mapped first (seed [`SEED`]) so the explorer sees
+//! the *routed* per-edge bypass hops, exactly like the pipeline's
+//! power-mapping pass — the greedy baseline inside `explore` is then
+//! the same `power_map_routed` result the policy runs use.
+//!
+//! Flags:
+//!
+//! * `--json <path>` — write one schema-v3 report per kernel (dse
+//!   section only; no timings, no engine tag, so the bytes are
+//!   identical at any `UECGRA_THREADS` and across cold/warm caches).
+//! * `--engine dense|event` — accepted for `reproduce_all` harness
+//!   compatibility and ignored: the explorer is analytical, so the
+//!   report has no engine dependence (the harness's cross-engine
+//!   byte-compare then passes trivially, which is the point).
+//! * `--cache <path>` — persistent evaluation cache (loaded if
+//!   present, saved back after the sweep).
+//! * `--budget <N>` — unique-evaluation budget per kernel.
+//! * `--rtl-check` — cross-check every kernel's best assignment on
+//!   both cycle-level engines against the host reference (slow;
+//!   off by default).
+
+use uecgra_bench::{evaluation_kernels, header, json_path, write_reports};
+use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+use uecgra_core::experiments::SEED;
+use uecgra_dse::{explore, rtl_crosscheck, DseConfig, EvalCache};
+use uecgra_probe::RunReport;
+
+struct Flags {
+    cache: Option<String>,
+    budget: usize,
+    rtl_check: bool,
+}
+
+fn flags() -> Flags {
+    let mut f = Flags {
+        cache: None,
+        budget: 256,
+        rtl_check: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--cache" => f.cache = Some(argv.next().expect("--cache needs a value")),
+            "--budget" => {
+                f.budget = argv
+                    .next()
+                    .expect("--budget needs a value")
+                    .parse()
+                    .expect("--budget must be a positive integer");
+                assert!(f.budget > 0, "--budget must be at least 1");
+            }
+            "--rtl-check" => f.rtl_check = true,
+            // --json/--engine are read by the shared helpers.
+            "--json" | "--engine" => {
+                argv.next();
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    f
+}
+
+fn main() {
+    let f = flags();
+    let cache = match &f.cache {
+        Some(path) => EvalCache::load(path).expect("loading evaluation cache"),
+        None => EvalCache::new(),
+    };
+    let cfg = DseConfig {
+        seed: SEED,
+        budget: f.budget,
+        ..DseConfig::default()
+    };
+
+    let line = format!(
+        "{:<8} {:>10} {:>6} {:>6} {:>8} {:>10} {:>10} {:>7}",
+        "kernel", "strategy", "groups", "evals", "frontier", "greedy EDP", "best EDP", "ratio"
+    );
+    header(&line);
+
+    let mut reports = Vec::new();
+    for k in evaluation_kernels() {
+        let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), SEED)
+            .unwrap_or_else(|e| panic!("{}: mapping failed: {e}", k.name));
+        let extra: Vec<u32> = k.dfg.edges().map(|(id, _)| mapped.extra_hops(id)).collect();
+        let out = explore(&k.dfg, k.mem.clone(), k.iter_marker, &extra, &cfg, &cache);
+        assert!(
+            out.dominates_baseline(),
+            "{}: DSE frontier (EDP {:.4}) regressed past the greedy baseline (EDP {:.4})",
+            k.name,
+            out.best.edp(),
+            out.baseline.edp()
+        );
+        if f.rtl_check {
+            rtl_crosscheck(&k, &out.best.modes, SEED)
+                .unwrap_or_else(|e| panic!("{}: RTL cross-check failed: {e}", k.name));
+        }
+        println!(
+            "{:<8} {:>10} {:>6} {:>6} {:>8} {:>10.3} {:>10.3} {:>7.3}",
+            k.name,
+            out.strategy,
+            out.groups,
+            out.evaluations,
+            out.frontier.len(),
+            out.baseline.edp(),
+            out.best.edp(),
+            out.best.edp() / out.baseline.edp(),
+        );
+        reports.push(RunReport {
+            name: format!("{}/dse", k.name),
+            kernel: Some(k.name.to_string()),
+            seed: Some(SEED),
+            stop: "Analytic".to_string(),
+            dse: Some(out.report_section(&cfg)),
+            ..RunReport::default()
+        });
+    }
+    if f.rtl_check {
+        println!("rtl check: every best assignment matches the host reference on both engines");
+    }
+    eprintln!(
+        "cache: {} entries, {} hits / {} misses ({:.0}% hit rate)",
+        cache.len(),
+        cache.hits(),
+        cache.misses(),
+        cache.hit_rate() * 100.0
+    );
+    if let Some(path) = &f.cache {
+        cache.save(path).expect("saving evaluation cache");
+        eprintln!("wrote {} cache entries to {path}", cache.len());
+    }
+    if let Some(path) = json_path() {
+        write_reports(&path, &reports);
+    }
+}

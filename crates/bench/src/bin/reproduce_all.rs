@@ -31,7 +31,7 @@ use uecgra_bench::json_path;
 use uecgra_core::pipeline::Engine;
 use uecgra_probe::RunReport;
 
-const BINS: [&str; 19] = [
+const BINS: [&str; 20] = [
     "fig02_toy_dvfs",
     "fig03_sweep",
     "fig07a_latency",
@@ -51,6 +51,7 @@ const BINS: [&str; 19] = [
     "ablation_routing_aware",
     "ablation_unroll",
     "extra_kernels",
+    "dse_sweep",
 ];
 
 /// This harness's own `--engine`, which (unlike the children's) also

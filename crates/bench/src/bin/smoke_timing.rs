@@ -24,9 +24,22 @@
 //!    is set, the harness additionally fails if the event engine is
 //!    not at least that factor faster.
 //!
-//! Usage: `smoke_timing [quick|full] [--engine dense|event|both]`
-//! (default `quick`, `both`; CI uses `quick`). `UECGRA_SMOKE_THREADS`
-//! overrides the parallel leg's thread count (default 8).
+//! 5. **DSE trajectory** (`dse` mode only) — the Table II DSE sweep
+//!    runs cold (fresh evaluation cache) then warm (same cache), the
+//!    outcomes must be bit-identical, and the wall-clock ratio and
+//!    evaluation throughput print. `UECGRA_SMOKE_MAX_WARM_RATIO`
+//!    gates the memoization win (CI uses 0.2: a warm rerun must cost
+//!    at most a fifth of a cold one); a committed baseline file
+//!    (`benchmarks/BENCH_dse_baseline.json`, overridable via
+//!    `UECGRA_BENCH_BASELINE`) plus `UECGRA_BENCH_TOLERANCE` gate the
+//!    evaluations-per-second trajectory against history. The leg's
+//!    measurements land in the file named by `--bench-out` for CI to
+//!    archive.
+//!
+//! Usage: `smoke_timing [quick|full|dse] [--engine dense|event|both]
+//! [--bench-out BENCH_dse.json]` (default `quick`, `both`; CI uses
+//! `quick` and `dse`). `UECGRA_SMOKE_THREADS` overrides the parallel
+//! leg's thread count (default 8).
 
 use std::time::Instant;
 use uecgra_compiler::bitstream::Bitstream;
@@ -135,13 +148,127 @@ fn engine_bench(scale: usize, reps: usize, engines: &[Engine]) -> [Option<f64>; 
     totals
 }
 
+/// One cold-or-warm pass of the Table II DSE sweep (routed hops,
+/// shared cache across kernels), mirroring the `dse_sweep` binary.
+fn dse_sweep_pass(cache: &uecgra_dse::EvalCache, budget: usize) -> Vec<uecgra_dse::DseOutcome> {
+    use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+    let cfg = uecgra_dse::DseConfig {
+        seed: SEED,
+        budget,
+        ..uecgra_dse::DseConfig::default()
+    };
+    uecgra_bench::evaluation_kernels()
+        .iter()
+        .map(|k| {
+            let mapped = MappedKernel::map(&k.dfg, ArrayShape::default(), SEED).expect("maps");
+            let extra: Vec<u32> = k.dfg.edges().map(|(id, _)| mapped.extra_hops(id)).collect();
+            uecgra_dse::explore(&k.dfg, k.mem.clone(), k.iter_marker, &extra, &cfg, cache)
+        })
+        .collect()
+}
+
+/// The `dse` mode: time the sweep cold then warm, gate the
+/// memoization ratio and the evaluation-throughput trajectory, and
+/// write the measurements to `bench_out` when given.
+fn dse_bench(bench_out: Option<&str>) {
+    // A budget above the default keeps the cold leg dominated by
+    // model evaluations (which the warm leg memoizes away) rather
+    // than by the uncached greedy baseline passes, so the warm/cold
+    // ratio gate has headroom against runner noise.
+    let budget = 512;
+    println!("dse bench: Table II sweep, budget {budget} per kernel");
+
+    let cache = uecgra_dse::EvalCache::new();
+    let (cold_out, t_cold) = timed(|| dse_sweep_pass(&cache, budget));
+    let unique = cache.misses();
+    let (warm_out, t_warm) = timed(|| dse_sweep_pass(&cache, budget));
+    assert_eq!(
+        cold_out, warm_out,
+        "DSE outcomes diverge between cold and warm caches"
+    );
+    for out in &cold_out {
+        assert!(out.dominates_baseline(), "DSE regressed past greedy");
+    }
+    println!("  determinism: cold and warm sweeps are bit-identical");
+
+    let ratio = t_warm / t_cold;
+    let evals_per_sec = unique as f64 / t_cold;
+    let frontier_points: usize = cold_out.iter().map(|o| o.frontier.len()).sum();
+    let warm_hit_rate = cache.hits() as f64 / (cache.hits() + cache.misses()) as f64;
+    println!("  cold: {t_cold:>7.3}s ({unique} unique evaluations, {evals_per_sec:.0} evals/s)");
+    println!("  warm: {t_warm:>7.3}s ({ratio:.3}x cold, {warm_hit_rate:.3} hit rate)");
+    println!(
+        "  frontier: {frontier_points} points across {} kernels",
+        cold_out.len()
+    );
+
+    if let Ok(max) = std::env::var("UECGRA_SMOKE_MAX_WARM_RATIO") {
+        let max: f64 = max
+            .parse()
+            .expect("UECGRA_SMOKE_MAX_WARM_RATIO must be a float");
+        assert!(
+            ratio <= max,
+            "warm rerun cost {ratio:.3}x cold, above the allowed {max:.3}x"
+        );
+        println!("  memoization gate: {ratio:.3}x <= {max:.3}x");
+    } else {
+        println!("  memoization gate: disabled (set UECGRA_SMOKE_MAX_WARM_RATIO to enforce)");
+    }
+
+    let baseline_path = std::env::var("UECGRA_BENCH_BASELINE")
+        .unwrap_or_else(|_| "benchmarks/BENCH_dse_baseline.json".to_string());
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            let doc = uecgra_probe::Json::parse(&text)
+                .unwrap_or_else(|e| panic!("parsing {baseline_path}: {e}"));
+            let base = doc
+                .get("evals_per_sec")
+                .and_then(|v| v.as_f64())
+                .unwrap_or_else(|| panic!("{baseline_path} has no evals_per_sec"));
+            let tolerance: f64 = std::env::var("UECGRA_BENCH_TOLERANCE")
+                .map(|s| s.parse().expect("UECGRA_BENCH_TOLERANCE must be a float"))
+                .unwrap_or(0.7);
+            assert!(
+                evals_per_sec >= tolerance * base,
+                "evaluation throughput regressed: {evals_per_sec:.0} evals/s < \
+                 {tolerance:.2} x baseline {base:.0} evals/s"
+            );
+            println!(
+                "  trajectory gate: {evals_per_sec:.0} evals/s >= {tolerance:.2} x {base:.0} \
+                 (baseline {baseline_path})"
+            );
+        }
+        Err(_) => println!("  trajectory gate: no baseline at {baseline_path}; reporting only"),
+    }
+
+    if let Some(path) = bench_out {
+        use uecgra_probe::Json;
+        let doc = Json::object(vec![
+            ("bench", Json::Str("dse_sweep".into())),
+            ("budget", Json::Uint(budget as u64)),
+            ("cold_seconds", Json::Float(t_cold)),
+            ("evals_per_sec", Json::Float(evals_per_sec)),
+            ("frontier_points", Json::Uint(frontier_points as u64)),
+            ("kernels", Json::Uint(cold_out.len() as u64)),
+            ("unique_evals", Json::Uint(unique)),
+            ("warm_hit_rate", Json::Float(warm_hit_rate)),
+            ("warm_over_cold", Json::Float(ratio)),
+        ]);
+        std::fs::write(path, format!("{}\n", doc.render()))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("  wrote measurements to {path}");
+    }
+    println!("\ndse bench OK");
+}
+
 fn main() {
     let mut mode = "quick".to_string();
     let mut engines: Vec<Engine> = Engine::ALL.to_vec();
+    let mut bench_out: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
-            "quick" | "full" => mode = arg,
+            "quick" | "full" | "dse" => mode = arg,
             "--engine" => {
                 let v = argv.next().expect("--engine needs a value");
                 if v != "both" {
@@ -149,8 +276,14 @@ fn main() {
                         .unwrap_or_else(|| panic!("unknown engine {v} (use dense|event|both)"))];
                 }
             }
-            other => panic!("unknown argument {other:?} (expected quick|full|--engine)"),
+            "--bench-out" => bench_out = Some(argv.next().expect("--bench-out needs a value")),
+            other => {
+                panic!("unknown argument {other:?} (expected quick|full|dse|--engine|--bench-out)")
+            }
         }
+    }
+    if mode == "dse" {
+        return dse_bench(bench_out.as_deref());
     }
     let (scale, engine_reps) = match mode.as_str() {
         "quick" => (60, 20),

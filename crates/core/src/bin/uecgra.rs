@@ -5,6 +5,8 @@
 //!            [--engine dense|event] [--mem-words N] [--vcd <out.vcd>]
 //!            [--dump-mem A..B] [--json <report.json>]
 //! uecgra compile <source.loop> [--seed N]      # print the mapping
+//! uecgra dse <source.loop> [--seed N] [--budget N]
+//!            [--cache <cache.json>] [--json <report.json>]
 //! uecgra check-report <report.json>            # round-trip validate
 //! ```
 //!
@@ -19,6 +21,14 @@
 //! crate's own parser, re-renders it, and verifies the bytes match —
 //! the round-trip check CI runs.
 //!
+//! `dse` explores VF-mode assignments of the lowered (logical) DFG
+//! through the analytical model and prints the Pareto frontier over
+//! (delay, energy, EDP); `--cache` persists the memoized evaluation
+//! cache across invocations and `--json` writes a schema-v3 report
+//! with the `dse` section. Unlike `run`, a `dse` report carries **no
+//! timings**: its bytes are identical across thread counts and across
+//! cold vs warm caches.
+//!
 //! Pipeline failures print the full cause chain:
 //!
 //! ```text
@@ -27,7 +37,7 @@
 //! ```
 
 use std::process::ExitCode;
-use uecgra_core::cli::{parse_args, usage};
+use uecgra_core::cli::{parse_args, usage, CliArgs};
 use uecgra_core::error::{error_chain, Error};
 use uecgra_core::pipeline::{CgraRun, Policy};
 use uecgra_core::report::run_report;
@@ -108,6 +118,105 @@ fn check_report(path: &str) -> Result<(), Error> {
     Ok(())
 }
 
+/// The report-name stem of a source path (`path/to/k.loop` → `k`).
+fn source_stem(source: &str) -> &str {
+    source
+        .rsplit('/')
+        .next()
+        .unwrap_or(source)
+        .trim_end_matches(".loop")
+}
+
+/// `uecgra dse`: explore VF-mode assignments of the lowered *logical*
+/// DFG (no routing pass — empty extra hops, matching the paper's
+/// logical power mapper) and print the Pareto frontier. The `--json`
+/// report is fully deterministic: no timings, no engine tag, and no
+/// cache statistics (those go to stderr), so its bytes are identical
+/// across thread counts and cold vs warm caches.
+fn dse_command(
+    args: &CliArgs,
+    dfg: &uecgra_dfg::Dfg,
+    marker: uecgra_dfg::NodeId,
+) -> Result<(), CliError> {
+    use uecgra_dse::{explore, DseConfig, EvalCache};
+
+    let cfg = DseConfig {
+        seed: args.seed,
+        budget: args.budget,
+        ..DseConfig::default()
+    };
+    let cache = match &args.cache {
+        Some(path) => EvalCache::load(path)?,
+        None => EvalCache::new(),
+    };
+    let warm_entries = cache.len();
+    let outcome = explore(dfg, vec![0u32; args.mem_words], marker, &[], &cfg, &cache);
+    eprintln!(
+        "dse: {} search over {} groups: {} evaluations, {} unique; \
+         cache {} -> {} entries, hit rate {:.0}%",
+        outcome.strategy,
+        outcome.groups,
+        outcome.evaluations,
+        outcome.unique_configs,
+        warm_entries,
+        cache.len(),
+        cache.hit_rate() * 100.0
+    );
+
+    let header = format!(
+        "{:<24} {:>8} {:>8} {:>8}",
+        "modes", "delay", "energy", "EDP"
+    );
+    println!("{header}");
+    println!("{}", "-".repeat(header.len()));
+    let row = |label: &str, p: &uecgra_dse::DsePoint| {
+        println!(
+            "{:<24} {:>8.3} {:>8.3} {:>8.3}{}",
+            p.modes_string(),
+            p.delay(),
+            p.energy(),
+            p.edp(),
+            label
+        );
+    };
+    for p in &outcome.frontier {
+        let mut label = String::new();
+        if p == &outcome.best {
+            label.push_str("  <- best EDP");
+        }
+        row(&label, p);
+    }
+    row("  (greedy baseline)", &outcome.baseline);
+    println!(
+        "frontier: {} points; best EDP {:.3} vs greedy {:.3} ({})",
+        outcome.frontier.len(),
+        outcome.best.edp(),
+        outcome.baseline.edp(),
+        if outcome.dominates_baseline() {
+            "dominates or matches"
+        } else {
+            "regressed"
+        }
+    );
+
+    if let Some(path) = &args.cache {
+        cache.save(path)?;
+        eprintln!("wrote {} cache entries to {path}", cache.len());
+    }
+    if let Some(path) = &args.json {
+        let report = RunReport {
+            name: format!("{}/dse", source_stem(&args.source)),
+            seed: Some(args.seed),
+            stop: "Analytic".to_string(),
+            dse: Some(outcome.report_section(&cfg)),
+            ..RunReport::default()
+        };
+        write_file(path, &RunReport::render_all(std::slice::from_ref(&report)))?;
+        eprintln!("wrote report to {path}");
+    }
+    Ok(())
+}
+
 fn timed<T>(sink: &mut TimingSink, phase: Phase, f: impl FnOnce() -> T) -> T {
     let start = std::time::Instant::now();
     let out = f();
@@ -149,6 +258,10 @@ fn real_main() -> Result<(), CliError> {
         lowered.dfg.pe_node_count(),
         uecgra_dfg::analysis::recurrence_mii(&lowered.dfg)
     );
+
+    if args.command == "dse" {
+        return dse_command(&args, &lowered.dfg, lowered.induction_phi);
+    }
 
     let mapped = timed(&mut sink, Phase::PlaceRoute, || {
         MappedKernel::map(&lowered.dfg, ArrayShape::default(), args.seed)

@@ -17,7 +17,7 @@ use uecgra_rtl::Engine;
 /// The parsed `uecgra` command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliArgs {
-    /// Subcommand: `run`, `compile`, or `check-report`.
+    /// Subcommand: `run`, `compile`, `dse`, or `check-report`.
     pub command: String,
     /// Source (or report) file path.
     pub source: String,
@@ -35,13 +35,17 @@ pub struct CliArgs {
     pub dump: Option<(usize, usize)>,
     /// Telemetry report output path.
     pub json: Option<String>,
+    /// DSE unique-evaluation budget (`dse` subcommand only).
+    pub budget: usize,
+    /// DSE persistent evaluation-cache path (`dse` subcommand only).
+    pub cache: Option<String>,
 }
 
 /// The one-line usage string.
 pub fn usage() -> String {
-    "usage: uecgra <run|compile|check-report> <file> [--policy e|eopt|popt] \
+    "usage: uecgra <run|compile|dse|check-report> <file> [--policy e|eopt|popt] \
      [--engine dense|event] [--seed N] [--mem-words N] [--vcd out.vcd] \
-     [--dump-mem A..B] [--json report.json]"
+     [--dump-mem A..B] [--json report.json] [--budget N] [--cache cache.json]"
         .to_string()
 }
 
@@ -68,6 +72,8 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Str
         vcd: None,
         dump: None,
         json: None,
+        budget: 256,
+        cache: None,
     };
     let mut seen: Vec<String> = Vec::new();
     while let Some(flag) = argv.next() {
@@ -99,6 +105,13 @@ pub fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<CliArgs, Str
                 ));
             }
             "--json" => args.json = Some(value()?),
+            "--budget" => {
+                args.budget = value()?.parse().map_err(|e| format!("--budget: {e}"))?;
+                if args.budget == 0 {
+                    return Err("--budget must be at least 1".to_string());
+                }
+            }
+            "--cache" => args.cache = Some(value()?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -143,6 +156,29 @@ mod tests {
         assert_eq!(a.engine, Engine::Dense);
         assert_eq!(a.dump, Some((0, 16)));
         assert_eq!(a.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn dse_flags_parse_with_sane_defaults() {
+        let a = parse(&["dse", "k.loop"]).unwrap();
+        assert_eq!(a.command, "dse");
+        assert_eq!(a.budget, 256);
+        assert_eq!(a.cache, None);
+
+        let a = parse(&[
+            "dse", "k.loop", "--budget", "64", "--cache", "c.json", "--seed", "3",
+        ])
+        .unwrap();
+        assert_eq!(a.budget, 64);
+        assert_eq!(a.cache.as_deref(), Some("c.json"));
+        assert_eq!(a.seed, 3);
+
+        assert!(parse(&["dse", "k.loop", "--budget", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["dse", "k.loop", "--budget", "x"])
+            .unwrap_err()
+            .starts_with("--budget:"));
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub fn run_report(name: impl Into<String>, kernel: Option<&str>, run: &CgraRun) 
         timings: None,
         metrics: Vec::new(),
         fault_campaign: None,
+        dse: None,
     }
 }
 

@@ -1,0 +1,96 @@
+//! Opt-in RTL cross-check of a DSE design point.
+//!
+//! The explorer scores candidates with the analytical model only; this
+//! module re-validates a chosen assignment on the cycle-level fabric by
+//! reusing the differential oracle: place-and-route the kernel,
+//! assemble the bitstream with the candidate's modes, execute on
+//! **both** engines (dense reference stepper and event-driven), and
+//! require bit-identical activity plus a final memory image matching
+//! the kernel's host reference. This is the `--rtl-check` leg of
+//! `dse_sweep` — too slow for the inner search loop, exactly right for
+//! the frontier members the search actually recommends.
+
+use uecgra_clock::VfMode;
+use uecgra_compiler::bitstream::Bitstream;
+use uecgra_compiler::mapping::{ArrayShape, MappedKernel};
+use uecgra_dfg::Kernel;
+use uecgra_rtl::{Activity, Engine, Fabric, FabricConfig};
+
+/// Run `node_modes` through the full pipeline on both engines and
+/// check them against each other and the host reference.
+///
+/// # Errors
+///
+/// Returns a description of the first failure: mapping, bitstream
+/// assembly or validation, an engine divergence, or a wrong result.
+pub fn rtl_crosscheck(kernel: &Kernel, node_modes: &[VfMode], seed: u64) -> Result<(), String> {
+    if node_modes.len() != kernel.dfg.node_count() {
+        return Err(format!(
+            "{}: {} modes for {} nodes",
+            kernel.name,
+            node_modes.len(),
+            kernel.dfg.node_count()
+        ));
+    }
+    let mapped = MappedKernel::map(&kernel.dfg, ArrayShape::default(), seed)
+        .map_err(|e| format!("{}: mapping failed: {e:?}", kernel.name))?;
+    let bitstream = Bitstream::assemble(&kernel.dfg, &mapped, node_modes)
+        .map_err(|e| format!("{}: assembly failed: {e:?}", kernel.name))?;
+    bitstream
+        .validate()
+        .map_err(|e| format!("{}: bitstream invalid: {e:?}", kernel.name))?;
+
+    let run = |engine: Engine| -> Activity {
+        let config = FabricConfig {
+            marker: Some(mapped.coord_of(kernel.iter_marker)),
+            ..FabricConfig::default()
+        };
+        Fabric::new(&bitstream, kernel.mem.clone(), config).run_with(engine)
+    };
+    let dense = run(Engine::Dense);
+    let event = run(Engine::EventDriven);
+
+    // Differential oracle: the engines are bit-identical by contract.
+    if dense.ticks != event.ticks
+        || dense.marker_times != event.marker_times
+        || dense.fires != event.fires
+        || dense.mem != event.mem
+    {
+        return Err(format!(
+            "{}: engine divergence (dense {} ticks / {} iters, event {} ticks / {} iters)",
+            kernel.name,
+            dense.ticks,
+            dense.iterations(),
+            event.ticks,
+            event.iterations()
+        ));
+    }
+
+    let expect = kernel.reference_memory();
+    if dense.mem[..expect.len()] != expect[..] {
+        return Err(format!(
+            "{}: wrong result under modes {:?}",
+            kernel.name, node_modes
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uecgra_dfg::kernels;
+
+    #[test]
+    fn nominal_assignment_passes_the_crosscheck() {
+        let k = kernels::llist::build_with_hops(40);
+        let modes = vec![VfMode::Nominal; k.dfg.node_count()];
+        rtl_crosscheck(&k, &modes, 7).unwrap();
+    }
+
+    #[test]
+    fn wrong_length_assignment_fails_loudly() {
+        let k = kernels::llist::build_with_hops(40);
+        assert!(rtl_crosscheck(&k, &[VfMode::Nominal], 7).is_err());
+    }
+}

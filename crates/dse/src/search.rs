@@ -1,0 +1,562 @@
+//! The design-space explorer.
+//!
+//! [`explore`] searches per-group VF-mode assignments of one kernel
+//! through the analytical model, memoizing every measurement in an
+//! [`EvalCache`] and returning the Pareto frontier over
+//! (delay, energy, EDP).
+//!
+//! Search space and strategies:
+//!
+//! * The space is grouped exactly like the paper's power-mapping pass
+//!   ([`Grouping::chains`]): singly-connected chains share one mode and
+//!   pseudo-op groups stay nominal, so `G` groups give `3^G`
+//!   assignments instead of `3^N`.
+//! * When `3^G` fits the evaluation budget the explorer enumerates the
+//!   whole space (**exhaustive** — exact frontier).
+//! * Otherwise it runs a greedy **hill-climb** with SplitMix64 random
+//!   restarts: each restart starts from a seeded random assignment and
+//!   walks single-group mode changes while they improve that restart's
+//!   scalar objective (restarts cycle through EDP / delay / energy, so
+//!   the walk pressure covers both ends of the frontier).
+//! * Both strategies first evaluate the three uniform assignments and
+//!   the paper's greedy `power_map` result under both objectives.
+//!   Seeding the evaluated set with the greedy baseline makes the
+//!   dominance acceptance criterion structural: the frontier's best
+//!   EDP can never be worse than the baseline it contains.
+//!
+//! Every decision runs on the calling thread over *batches* of
+//! candidate evaluations; only the batched model simulations fan out
+//! through [`uecgra_util::par_tabulate`]. Measurements are pure
+//! functions of the configuration, so the search trajectory — and the
+//! returned [`DseOutcome`] — is bit-identical across thread counts
+//! *and* across cold vs warm caches (a warm cache changes wall-clock,
+//! never values).
+
+use crate::cache::EvalCache;
+use crate::key::{combine, digest_bytes, digest_json, Digest};
+use crate::pareto::{modes_string, pareto_frontier, DsePoint};
+use std::collections::HashMap;
+use uecgra_clock::VfMode;
+use uecgra_dfg::analysis::Grouping;
+use uecgra_dfg::{Dfg, NodeId};
+use uecgra_model::{EnergyDelay, EnergyDelayEstimator, ModelParams};
+use uecgra_probe::Json;
+use uecgra_util::SplitMix64;
+
+/// Explorer knobs. [`Default`] matches the CLI defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DseConfig {
+    /// PRNG seed for the hill-climb restarts.
+    pub seed: u64,
+    /// Maximum *unique* model evaluations; also the exhaustive-
+    /// enumeration threshold (`3^G <= budget` enumerates).
+    pub budget: usize,
+    /// Hill-climb restarts (ignored by the exhaustive strategy).
+    pub restarts: usize,
+    /// Measurement window forwarded to the estimator.
+    pub iterations: u64,
+}
+
+impl Default for DseConfig {
+    fn default() -> DseConfig {
+        DseConfig {
+            seed: 7,
+            budget: 256,
+            restarts: 6,
+            iterations: 96,
+        }
+    }
+}
+
+/// What one [`explore`] call found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseOutcome {
+    /// `"exhaustive"` or `"hillclimb"`.
+    pub strategy: &'static str,
+    /// Searchable (non-pseudo) power groups.
+    pub groups: usize,
+    /// Candidate evaluations requested (cache hits included).
+    pub evaluations: u64,
+    /// Distinct assignments measured.
+    pub unique_configs: u64,
+    /// The greedy `power_map` baseline (better of the two objectives
+    /// by EDP).
+    pub baseline: DsePoint,
+    /// The Pareto frontier over everything evaluated, sorted by delay.
+    pub frontier: Vec<DsePoint>,
+    /// The minimum-EDP frontier member.
+    pub best: DsePoint,
+}
+
+impl DseOutcome {
+    /// Does the frontier's best EDP dominate or match the greedy
+    /// baseline? Structurally always true (the baseline is in the
+    /// evaluated set); kept as data so harnesses can assert it.
+    pub fn dominates_baseline(&self) -> bool {
+        self.best.edp() <= self.baseline.edp()
+    }
+
+    /// The outcome as a probe schema-v3 report section. Only search-
+    /// deterministic quantities cross over — cache hit statistics stay
+    /// out so reports are byte-identical across cold and warm caches.
+    pub fn report_section(&self, cfg: &DseConfig) -> uecgra_probe::DseSection {
+        let point = |p: &DsePoint| uecgra_probe::DsePointReport {
+            modes: p.modes_string(),
+            delay: p.delay(),
+            energy: p.energy(),
+            edp: p.edp(),
+        };
+        uecgra_probe::DseSection {
+            seed: cfg.seed,
+            strategy: self.strategy.to_string(),
+            groups: self.groups as u64,
+            budget: cfg.budget as u64,
+            evaluations: self.evaluations,
+            unique_configs: self.unique_configs,
+            baseline: point(&self.baseline),
+            frontier: self.frontier.iter().map(point).collect(),
+            best: point(&self.best),
+            dominates_baseline: self.dominates_baseline(),
+        }
+    }
+}
+
+/// Digest the full evaluation configuration — everything the
+/// analytical model can observe besides the mode assignment. Combined
+/// with a per-candidate modes digest this forms the cache key, so any
+/// observable config change invalidates by construction.
+pub fn config_digest(
+    dfg: &Dfg,
+    mem: &[u32],
+    marker: NodeId,
+    extra_hops: &[u32],
+    params: &ModelParams,
+    iterations: u64,
+) -> Digest {
+    let nodes: Vec<Json> = dfg
+        .nodes()
+        .map(|(_, n)| {
+            Json::object(vec![
+                ("op", Json::Str(n.op.mnemonic().into())),
+                ("constant", opt_u32(n.constant)),
+                ("init", opt_u32(n.init)),
+            ])
+        })
+        .collect();
+    let edges: Vec<Json> = dfg
+        .edges()
+        .map(|(_, e)| {
+            Json::Array(vec![
+                Json::Uint(e.src.index() as u64),
+                Json::Uint(e.src_port as u64),
+                Json::Uint(e.dst.index() as u64),
+                Json::Uint(e.dst_port as u64),
+            ])
+        })
+        .collect();
+    // The memory image can be tens of KiB; fold it to its own digest
+    // rather than embedding every word in the JSON description.
+    let mem_bytes: Vec<u8> = mem.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let doc = Json::object(vec![
+        (
+            "clocks",
+            Json::Array(
+                [VfMode::Rest, VfMode::Nominal, VfMode::Sprint]
+                    .iter()
+                    .map(|&m| Json::Uint(params.clocks.divisor(m) as u64))
+                    .collect(),
+            ),
+        ),
+        ("edges", Json::Array(edges)),
+        (
+            "extra_hops",
+            Json::Array(extra_hops.iter().map(|&h| Json::Uint(h as u64)).collect()),
+        ),
+        ("iterations", Json::Uint(iterations)),
+        ("marker", Json::Uint(marker.index() as u64)),
+        ("mem", Json::Str(digest_bytes(&mem_bytes).to_string())),
+        ("nodes", Json::Array(nodes)),
+        (
+            "params",
+            Json::object(vec![
+                ("alpha_sram", Json::Float(params.alpha_sram)),
+                ("beta", Json::Float(params.beta)),
+                ("f_nominal_mhz", Json::Float(params.f_nominal_mhz)),
+                ("gamma", Json::Float(params.gamma)),
+                ("k1", Json::Float(params.vf.k1)),
+                ("k2", Json::Float(params.vf.k2)),
+                ("k3", Json::Float(params.vf.k3)),
+                (
+                    "voltages",
+                    Json::Array(params.voltages.iter().map(|&v| Json::Float(v)).collect()),
+                ),
+            ]),
+        ),
+    ]);
+    digest_json(&doc)
+}
+
+fn opt_u32(v: Option<u32>) -> Json {
+    match v {
+        None => Json::Null,
+        Some(x) => Json::Uint(x as u64),
+    }
+}
+
+/// The cache key of one candidate: config digest ⊕ modes digest.
+pub fn candidate_key(config: Digest, modes: &[VfMode]) -> Digest {
+    combine(config, digest_bytes(modes_string(modes).as_bytes()))
+}
+
+/// Cache-mediated batch evaluator. All bookkeeping runs on the calling
+/// thread; only the missing measurements fan out.
+struct Evaluator<'a> {
+    estimator: EnergyDelayEstimator<'a>,
+    config: Digest,
+    cache: &'a EvalCache,
+    evaluations: u64,
+    unique: std::collections::HashSet<u128>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Evaluate a batch of candidates, in order. Duplicate candidates
+    /// within the batch and cache hits cost nothing; unique misses are
+    /// measured in parallel and inserted into the cache.
+    fn eval_batch(&mut self, candidates: &[Vec<VfMode>]) -> Vec<EnergyDelay> {
+        let keys: Vec<Digest> = candidates
+            .iter()
+            .map(|m| candidate_key(self.config, m))
+            .collect();
+        self.evaluations += keys.len() as u64;
+
+        let mut batch: HashMap<u128, EnergyDelay> = HashMap::new();
+        let mut misses: Vec<(Digest, &Vec<VfMode>)> = Vec::new();
+        for (key, modes) in keys.iter().zip(candidates) {
+            if batch.contains_key(&key.as_u128()) {
+                continue; // duplicate within this batch
+            }
+            self.unique.insert(key.as_u128());
+            match self.cache.lookup(*key) {
+                Some(ed) => {
+                    batch.insert(key.as_u128(), ed);
+                }
+                None => {
+                    batch.insert(key.as_u128(), PLACEHOLDER);
+                    misses.push((*key, modes));
+                }
+            }
+        }
+        let measured =
+            uecgra_util::par_tabulate(misses.len(), |i| self.estimator.measure(misses[i].1));
+        for ((key, _), ed) in misses.iter().zip(measured) {
+            self.cache.insert(*key, ed);
+            batch.insert(key.as_u128(), ed);
+        }
+        keys.iter().map(|k| batch[&k.as_u128()]).collect()
+    }
+
+    fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+}
+
+/// Sentinel overwritten before the batch returns; never observable.
+const PLACEHOLDER: EnergyDelay = EnergyDelay {
+    throughput: f64::NAN,
+    energy_per_iter: f64::NAN,
+};
+
+/// The scalar objective a hill-climb restart minimizes. Restarts cycle
+/// through all three so the walk covers both frontier ends, not just
+/// the EDP knee.
+#[derive(Clone, Copy)]
+enum Scalar {
+    Edp,
+    Delay,
+    Energy,
+}
+
+impl Scalar {
+    const ALL: [Scalar; 3] = [Scalar::Edp, Scalar::Delay, Scalar::Energy];
+
+    /// Lexicographic cost: the primary axis, EDP as the tie-break.
+    fn cost(self, ed: &EnergyDelay) -> (f64, f64) {
+        let edp = ed.edp();
+        match self {
+            Scalar::Edp => (edp, edp),
+            Scalar::Delay => (1.0 / ed.throughput, edp),
+            Scalar::Energy => (ed.energy_per_iter, edp),
+        }
+    }
+}
+
+fn cost_lt(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// Explore VF-mode assignments of `dfg` and return the Pareto
+/// frontier, the greedy baseline, and the search statistics.
+///
+/// `extra_hops` carries routed per-edge bypass hops (empty for the
+/// logical graph), exactly as
+/// [`power_map_routed`](uecgra_compiler::power_map::power_map_routed)
+/// takes them. Measurements go through `cache`; pass a freshly loaded
+/// cache for warm reruns.
+///
+/// # Panics
+///
+/// Panics if a candidate mapping reaches no steady state within the
+/// measurement window (same contract as `EnergyDelayEstimator`).
+pub fn explore(
+    dfg: &Dfg,
+    mem: Vec<u32>,
+    marker: NodeId,
+    extra_hops: &[u32],
+    cfg: &DseConfig,
+    cache: &EvalCache,
+) -> DseOutcome {
+    use uecgra_compiler::power_map::{power_map_routed, Objective};
+
+    // Grouping, exactly as the greedy pass groups (phase 1).
+    let grouping = Grouping::chains(dfg);
+    let groups: Vec<usize> = (0..grouping.len())
+        .filter(|&g| {
+            grouping
+                .members(g)
+                .iter()
+                .all(|&n| !dfg.node(n).op.is_pseudo())
+        })
+        .collect();
+    let expand = |assignment: &[VfMode]| -> Vec<VfMode> {
+        let mut modes = vec![VfMode::Nominal; dfg.node_count()];
+        for (slot, &g) in groups.iter().enumerate() {
+            for &n in grouping.members(g) {
+                modes[n.index()] = assignment[slot];
+            }
+        }
+        modes
+    };
+    // Project a per-node assignment into group space (greedy results
+    // are constant per group by construction).
+    let project = |node_modes: &[VfMode]| -> Vec<VfMode> {
+        groups
+            .iter()
+            .map(|&g| node_modes[grouping.members(g)[0].index()])
+            .collect()
+    };
+
+    let estimator = EnergyDelayEstimator::new(dfg, mem.clone(), marker)
+        .with_edge_latency(extra_hops.to_vec())
+        .with_iterations(cfg.iterations);
+    let config = config_digest(
+        dfg,
+        &mem,
+        marker,
+        extra_hops,
+        estimator.params(),
+        cfg.iterations,
+    );
+    let mut ev = Evaluator {
+        estimator,
+        config,
+        cache,
+        evaluations: 0,
+        unique: std::collections::HashSet::new(),
+    };
+
+    let mut evaluated: Vec<DsePoint> = Vec::new();
+    let mut record = |assignments: &[Vec<VfMode>], ev: &mut Evaluator<'_>| -> Vec<EnergyDelay> {
+        let node_modes: Vec<Vec<VfMode>> = assignments.iter().map(|a| expand(a)).collect();
+        let eds = ev.eval_batch(&node_modes);
+        for (modes, &ed) in node_modes.iter().zip(&eds) {
+            evaluated.push(DsePoint {
+                modes: modes.clone(),
+                ed,
+            });
+        }
+        eds
+    };
+
+    // Seed round: uniform assignments + the greedy baselines.
+    let greedy: Vec<Vec<VfMode>> = [Objective::Performance, Objective::Energy]
+        .iter()
+        .map(|&obj| {
+            project(&power_map_routed(dfg, mem.clone(), marker, obj, extra_hops).node_modes)
+        })
+        .collect();
+    let mut seeds: Vec<Vec<VfMode>> = VfMode::ALL.iter().map(|&m| vec![m; groups.len()]).collect();
+    seeds.extend(greedy.iter().cloned());
+    let seed_eds = record(&seeds, &mut ev);
+    // The better greedy result (by EDP) is the baseline DSE must beat.
+    let baseline = greedy
+        .iter()
+        .zip(&seed_eds[VfMode::ALL.len()..])
+        .map(|(a, &ed)| DsePoint {
+            modes: expand(a),
+            ed,
+        })
+        .min_by(|a, b| {
+            a.edp()
+                .partial_cmp(&b.edp())
+                .expect("finite EDP")
+                .then_with(|| a.modes_string().cmp(&b.modes_string()))
+        })
+        .expect("two greedy baselines");
+
+    let space: Option<usize> = 3usize.checked_pow(groups.len() as u32);
+    let strategy = match space {
+        Some(s) if s <= cfg.budget => "exhaustive",
+        _ => "hillclimb",
+    };
+
+    if strategy == "exhaustive" {
+        // Odometer over VfMode::ALL (slowest-first), whole space in
+        // one parallel batch.
+        let space = space.expect("small space");
+        let all: Vec<Vec<VfMode>> = (0..space)
+            .map(|mut i| {
+                (0..groups.len())
+                    .map(|_| {
+                        let m = VfMode::ALL[i % 3];
+                        i /= 3;
+                        m
+                    })
+                    .collect()
+            })
+            .collect();
+        record(&all, &mut ev);
+    } else {
+        for restart in 0..cfg.restarts {
+            if ev.unique_len() >= cfg.budget {
+                break;
+            }
+            let objective = Scalar::ALL[restart % Scalar::ALL.len()];
+            let mut rng = SplitMix64::seed_from_u64(
+                cfg.seed ^ (restart as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut current: Vec<VfMode> = (0..groups.len())
+                .map(|_| VfMode::ALL[rng.range(3)])
+                .collect();
+            let mut current_cost = objective.cost(&record(&[current.clone()], &mut ev)[0]);
+            loop {
+                if ev.unique_len() >= cfg.budget {
+                    break;
+                }
+                // All single-group mode changes, evaluated as one batch.
+                let mut neighbors: Vec<Vec<VfMode>> = Vec::new();
+                for slot in 0..groups.len() {
+                    for &m in &VfMode::ALL {
+                        if m != current[slot] {
+                            let mut n = current.clone();
+                            n[slot] = m;
+                            neighbors.push(n);
+                        }
+                    }
+                }
+                let eds = record(&neighbors, &mut ev);
+                let best = neighbors
+                    .iter()
+                    .zip(&eds)
+                    .map(|(n, ed)| (n, objective.cost(ed)))
+                    .min_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .expect("finite cost")
+                            .then_with(|| modes_string(a.0).cmp(&modes_string(b.0)))
+                    });
+                match best {
+                    Some((n, cost)) if cost_lt(cost, current_cost) => {
+                        current = n.clone();
+                        current_cost = cost;
+                    }
+                    _ => break, // local optimum for this objective
+                }
+            }
+        }
+    }
+
+    let frontier = pareto_frontier(&evaluated);
+    let best = frontier
+        .iter()
+        .min_by(|a, b| {
+            a.edp()
+                .partial_cmp(&b.edp())
+                .expect("finite EDP")
+                .then_with(|| a.modes_string().cmp(&b.modes_string()))
+        })
+        .expect("non-empty frontier")
+        .clone();
+    DseOutcome {
+        strategy,
+        groups: groups.len(),
+        evaluations: ev.evaluations,
+        unique_configs: ev.unique.len() as u64,
+        baseline,
+        frontier,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uecgra_dfg::kernels::synthetic;
+
+    fn run(cfg: &DseConfig) -> DseOutcome {
+        let toy = synthetic::fig2_toy();
+        let cache = EvalCache::new();
+        explore(&toy.dfg, vec![0; 2048], toy.iter_marker, &[], cfg, &cache)
+    }
+
+    #[test]
+    fn small_fabrics_enumerate_exhaustively() {
+        let out = run(&DseConfig::default());
+        assert_eq!(out.strategy, "exhaustive");
+        assert!(out.dominates_baseline());
+        assert!(!out.frontier.is_empty());
+        assert!(out.unique_configs <= out.evaluations);
+        // The whole 3^G space plus seeds was requested.
+        assert_eq!(out.unique_configs, 3u64.pow(out.groups as u32));
+    }
+
+    #[test]
+    fn tight_budgets_fall_back_to_hill_climb() {
+        let cfg = DseConfig {
+            budget: 20,
+            restarts: 2,
+            ..DseConfig::default()
+        };
+        let out = run(&cfg);
+        assert_eq!(out.strategy, "hillclimb");
+        assert!(out.dominates_baseline(), "baseline seeding guarantees this");
+    }
+
+    #[test]
+    fn exploration_is_deterministic_and_cache_transparent() {
+        let toy = synthetic::fig2_toy();
+        let cfg = DseConfig::default();
+        let cache = EvalCache::new();
+        let cold = explore(&toy.dfg, vec![0; 2048], toy.iter_marker, &[], &cfg, &cache);
+        // Same cache now warm: every value identical, fewer misses.
+        let warm = explore(&toy.dfg, vec![0; 2048], toy.iter_marker, &[], &cfg, &cache);
+        assert_eq!(cold, warm);
+        assert_eq!(cache.misses(), cold.unique_configs);
+    }
+
+    #[test]
+    fn config_digest_distinguishes_observable_changes() {
+        let toy = synthetic::fig2_toy();
+        let params = uecgra_model::ModelParams::default();
+        let base = config_digest(&toy.dfg, &[0; 16], toy.iter_marker, &[], &params, 96);
+        let other_mem = config_digest(&toy.dfg, &[1; 16], toy.iter_marker, &[], &params, 96);
+        let other_iters = config_digest(&toy.dfg, &[0; 16], toy.iter_marker, &[], &params, 48);
+        let other_hops = config_digest(&toy.dfg, &[0; 16], toy.iter_marker, &[1], &params, 96);
+        assert_ne!(base, other_mem);
+        assert_ne!(base, other_iters);
+        assert_ne!(base, other_hops);
+        // And it is stable across calls.
+        assert_eq!(
+            base,
+            config_digest(&toy.dfg, &[0; 16], toy.iter_marker, &[], &params, 96)
+        );
+    }
+}

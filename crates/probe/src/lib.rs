@@ -38,7 +38,7 @@ pub mod sink;
 
 pub use json::{Json, JsonError};
 pub use schema::{
-    CampaignEntry, CampaignSection, PeReport, PhaseTimings, QueueReport, RunReport, SchemaError,
-    SCHEMA_VERSION, SCHEMA_VERSION_V2,
+    CampaignEntry, CampaignSection, DsePointReport, DseSection, PeReport, PhaseTimings,
+    QueueReport, RunReport, SchemaError, SCHEMA_VERSION, SCHEMA_VERSION_V2, SCHEMA_VERSION_V3,
 };
 pub use sink::{Phase, ProbeSink, TimingSink};

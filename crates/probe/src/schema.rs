@@ -27,6 +27,12 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// reports stay byte-identical.
 pub const SCHEMA_VERSION_V2: u64 = 2;
 
+/// Version stamp for reports that carry the additive v3 design-space-
+/// exploration section. Same additive contract as v2: the serializer
+/// stamps the lowest version that can describe the report, so v1/v2
+/// documents stay byte-identical.
+pub const SCHEMA_VERSION_V3: u64 = 3;
+
 /// A schema-level decoding error (structurally valid JSON that does
 /// not describe a report).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -484,6 +490,127 @@ impl CampaignSection {
     }
 }
 
+/// One evaluated design point of a DSE run: a per-node VF-mode string
+/// (`R`/`N`/`S` per DFG node) with its analytical-model measurement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DsePointReport {
+    /// Mode assignment, one letter per DFG node (`R`/`N`/`S`).
+    pub modes: String,
+    /// Iteration delay in nominal cycles (1/throughput).
+    pub delay: f64,
+    /// Normalized energy per iteration.
+    pub energy: f64,
+    /// Energy-delay product.
+    pub edp: f64,
+}
+
+impl DsePointReport {
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("modes", Json::Str(self.modes.clone())),
+            ("delay", Json::Float(self.delay)),
+            ("energy", Json::Float(self.energy)),
+            ("edp", Json::Float(self.edp)),
+        ])
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<DsePointReport, SchemaError> {
+        Ok(DsePointReport {
+            modes: req_str(v, "modes")?,
+            delay: req_f64(v, "delay")?,
+            energy: req_f64(v, "energy")?,
+            edp: req_f64(v, "edp")?,
+        })
+    }
+}
+
+/// The schema-v3 design-space-exploration section: what one
+/// `uecgra dse` / `dse_sweep` search found for one kernel.
+///
+/// Cache hit/miss statistics are deliberately **not** part of the
+/// section — they differ between cold and warm reruns, and the
+/// acceptance contract requires the report bytes not to. Only
+/// search-deterministic quantities appear here.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DseSection {
+    /// Search seed.
+    pub seed: u64,
+    /// `"exhaustive"` or `"hillclimb"`.
+    pub strategy: String,
+    /// Searchable power groups (chains, pseudo-op groups excluded).
+    pub groups: u64,
+    /// Unique-evaluation budget the search ran under.
+    pub budget: u64,
+    /// Candidate evaluations requested (memo hits included).
+    pub evaluations: u64,
+    /// Distinct assignments measured.
+    pub unique_configs: u64,
+    /// The greedy `power_map` baseline (better objective by EDP).
+    pub baseline: DsePointReport,
+    /// Pareto frontier over (delay, energy, EDP), sorted by delay.
+    pub frontier: Vec<DsePointReport>,
+    /// Minimum-EDP frontier member.
+    pub best: DsePointReport,
+    /// Frontier best EDP ≤ greedy baseline EDP (the dominance gate).
+    pub dominates_baseline: bool,
+}
+
+impl DseSection {
+    /// Serialize.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("seed", Json::Uint(self.seed)),
+            ("strategy", Json::Str(self.strategy.clone())),
+            ("groups", Json::Uint(self.groups)),
+            ("budget", Json::Uint(self.budget)),
+            ("evaluations", Json::Uint(self.evaluations)),
+            ("unique_configs", Json::Uint(self.unique_configs)),
+            ("baseline", self.baseline.to_json()),
+            (
+                "frontier",
+                Json::Array(self.frontier.iter().map(DsePointReport::to_json).collect()),
+            ),
+            ("best", self.best.to_json()),
+            ("dominates_baseline", Json::Bool(self.dominates_baseline)),
+        ])
+    }
+
+    /// Deserialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Result<DseSection, SchemaError> {
+        let frontier = req(v, "frontier")?
+            .as_array()
+            .ok_or_else(|| SchemaError::new("field `frontier` must be an array"))?
+            .iter()
+            .map(DsePointReport::from_json)
+            .collect::<Result<Vec<DsePointReport>, SchemaError>>()?;
+        let dominates_baseline = req(v, "dominates_baseline")?
+            .as_bool()
+            .ok_or_else(|| SchemaError::new("field `dominates_baseline` must be a boolean"))?;
+        Ok(DseSection {
+            seed: req_u64(v, "seed")?,
+            strategy: req_str(v, "strategy")?,
+            groups: req_u64(v, "groups")?,
+            budget: req_u64(v, "budget")?,
+            evaluations: req_u64(v, "evaluations")?,
+            unique_configs: req_u64(v, "unique_configs")?,
+            baseline: DsePointReport::from_json(req(v, "baseline")?)?,
+            frontier,
+            best: DsePointReport::from_json(req(v, "best")?)?,
+            dominates_baseline,
+        })
+    }
+}
+
 /// One run's full telemetry.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunReport {
@@ -530,12 +657,18 @@ pub struct RunReport {
     /// what bumps the serialized `schema_version` to 2; plain run
     /// reports stay at version 1 byte-for-byte.
     pub fault_campaign: Option<CampaignSection>,
+    /// Schema-v3 design-space-exploration results. Presence of this
+    /// section bumps the serialized `schema_version` to 3; reports
+    /// without it keep their previous version byte-for-byte.
+    pub dse: Option<DseSection>,
 }
 
 impl RunReport {
     /// Serialize to a [`Json`] value with the canonical field order.
     pub fn to_json(&self) -> Json {
-        let version = if self.fault_campaign.is_some() {
+        let version = if self.dse.is_some() {
+            SCHEMA_VERSION_V3
+        } else if self.fault_campaign.is_some() {
             SCHEMA_VERSION_V2
         } else {
             SCHEMA_VERSION
@@ -595,6 +728,9 @@ impl RunReport {
         if let Some(c) = &self.fault_campaign {
             fields.push(("fault_campaign".into(), c.to_json()));
         }
+        if let Some(d) = &self.dse {
+            fields.push(("dse".into(), d.to_json()));
+        }
         Json::Object(fields)
     }
 
@@ -606,10 +742,10 @@ impl RunReport {
     /// or an unknown schema version.
     pub fn from_json(v: &Json) -> Result<RunReport, SchemaError> {
         let version = req_u64(v, "schema_version")?;
-        if version != SCHEMA_VERSION && version != SCHEMA_VERSION_V2 {
+        if !(SCHEMA_VERSION..=SCHEMA_VERSION_V3).contains(&version) {
             return Err(SchemaError::new(format!(
                 "unsupported schema version {version} \
-                 (expected {SCHEMA_VERSION} or {SCHEMA_VERSION_V2})"
+                 (expected {SCHEMA_VERSION} through {SCHEMA_VERSION_V3})"
             )));
         }
         let pes = req(v, "pes")?
@@ -644,6 +780,10 @@ impl RunReport {
             None | Some(Json::Null) => None,
             Some(c) => Some(CampaignSection::from_json(c)?),
         };
+        let dse = match v.get("dse") {
+            None | Some(Json::Null) => None,
+            Some(d) => Some(DseSection::from_json(d)?),
+        };
         Ok(RunReport {
             name: req_str(v, "name")?,
             kernel: opt_str(v, "kernel")?,
@@ -663,6 +803,7 @@ impl RunReport {
             timings,
             metrics,
             fault_campaign,
+            dse,
         })
     }
 
@@ -732,6 +873,41 @@ mod tests {
             timings: None,
             metrics: vec![("speedup".into(), 1.44)],
             fault_campaign: None,
+            dse: None,
+        }
+    }
+
+    fn sample_dse_section() -> DseSection {
+        let best = DsePointReport {
+            modes: "SSNNR".into(),
+            delay: 2.0,
+            energy: 3.5,
+            edp: 7.0,
+        };
+        DseSection {
+            seed: 7,
+            strategy: "hillclimb".into(),
+            groups: 4,
+            budget: 256,
+            evaluations: 300,
+            unique_configs: 212,
+            baseline: DsePointReport {
+                modes: "SSNNN".into(),
+                delay: 2.0,
+                energy: 4.0,
+                edp: 8.0,
+            },
+            frontier: vec![
+                best.clone(),
+                DsePointReport {
+                    modes: "NNNNR".into(),
+                    delay: 3.0,
+                    energy: 2.5,
+                    edp: 7.5,
+                },
+            ],
+            best,
+            dominates_baseline: true,
         }
     }
 
@@ -856,11 +1032,40 @@ mod tests {
 
     #[test]
     fn plain_reports_stay_at_version_1() {
-        // The v2 section is additive: a report without it must render
-        // exactly as it did before the section existed.
+        // The v2/v3 sections are additive: a report without them must
+        // render exactly as it did before the sections existed.
         let text = sample_report().to_json().render();
         assert!(text.contains("\"schema_version\": 1"));
         assert!(!text.contains("fault_campaign"));
+        assert!(!text.contains("\"dse\""));
+    }
+
+    #[test]
+    fn dse_section_round_trips_at_v3() {
+        let mut report = sample_report();
+        report.dse = Some(sample_dse_section());
+        let text = RunReport::render_all(std::slice::from_ref(&report));
+        assert!(text.contains("\"schema_version\": 3"), "{text}");
+        assert!(text.contains("\"dse\""));
+        assert!(text.contains("\"dominates_baseline\": true"));
+        let back = RunReport::parse_all(&text).unwrap();
+        assert_eq!(back, vec![report]);
+        assert_eq!(RunReport::render_all(&back), text);
+    }
+
+    #[test]
+    fn fault_campaign_alone_still_stamps_version_2() {
+        // v3 is stamped only when the dse section is present, so v2
+        // documents keep their bytes.
+        let mut report = sample_report();
+        report.fault_campaign = Some(CampaignSection::default());
+        let text = report.to_json().render();
+        assert!(text.contains("\"schema_version\": 2"), "{text}");
+        report.dse = Some(sample_dse_section());
+        let both = report.to_json().render();
+        assert!(both.contains("\"schema_version\": 3"), "{both}");
+        let back = RunReport::parse_all(&format!("[{both}]")).unwrap();
+        assert_eq!(back[0], report);
     }
 
     #[test]
